@@ -1,0 +1,24 @@
+"""Tiny table printer shared by the benchmark harness.
+
+Benchmarks print the paper-shaped rows/series they regenerate (visible
+with ``pytest benchmarks/ --benchmark-only -s``); the assertions in each
+bench check the *shape* claims (who wins, by what factor, where the
+crossovers fall) rather than wall-clock numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        widths = [max(w, len(c)) for w, c in zip(widths, row)]
+    line = "  ".join(h.rjust(w) for h, w in zip(headers, widths))
+    print(f"\n### {title}")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,69 @@
+"""ALG1 — Algorithm 1's exponential cost, measured against closed forms.
+
+Regenerates: the phase count Σ_{k≤f} C(n,k), total rounds = phases · n,
+and measured message counts per instance — the quantitative face of the
+paper's remark that Algorithm 1 "is not efficient".
+"""
+
+from _tables import print_table
+from repro.analysis import expected_flood_deliveries, phase_count_table, predicted_costs
+from repro.consensus import algorithm1_factory, phase_count, run_consensus
+from repro.graphs import complete_graph, cycle_graph, paper_figure_1a
+
+CASES = [
+    ("K3", complete_graph(3), 1),
+    ("C4", cycle_graph(4), 1),
+    ("C5", paper_figure_1a(), 1),
+    ("K5", complete_graph(5), 2),
+]
+
+
+def measure():
+    rows = []
+    for name, graph, f in CASES:
+        cm = predicted_costs(graph, f)
+        res = run_consensus(
+            graph, algorithm1_factory(graph, f),
+            {v: v % 2 for v in graph.nodes}, f=f,
+        )
+        rows.append(
+            (
+                name,
+                graph.n,
+                f,
+                cm.phases,
+                cm.rounds_algorithm1,
+                res.rounds,
+                res.transmissions,
+                cm.phases * expected_flood_deliveries(graph),
+            )
+        )
+    return rows
+
+
+def test_alg1_measured_vs_predicted(benchmark):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Algorithm 1: predicted vs measured cost (fault-free runs)",
+        ["graph", "n", "f", "phases", "rounds (pred)", "rounds (meas)",
+         "tx (meas)", "deliveries (pred)"],
+        rows,
+    )
+    for row in rows:
+        assert row[4] == row[5]  # round prediction is exact
+    # Exponential growth is visible between f=1 and f=2 instances.
+    k5 = next(r for r in rows if r[0] == "K5")
+    c5 = next(r for r in rows if r[0] == "C5")
+    assert k5[3] > c5[3]
+
+
+def test_alg1_phase_blowup_table(benchmark):
+    table = benchmark(phase_count_table, 12, 5)
+    print_table(
+        "Phase count Σ C(n,k) for n = 12 (exponential in f)",
+        ["f", "phases"],
+        sorted(table.items()),
+    )
+    assert table[5] / table[1] > 60  # steep growth
+
+    assert phase_count(12, 5) == table[5]

@@ -1,0 +1,78 @@
+"""FIG3 — Lemma A.2 / Figure 3: connectivity ≤ ⌊3f/2⌋ is fatal.
+
+Regenerates: cut-partition covering networks on graphs exactly one short
+of the bound, with the forced violation in E2; the margin column shows
+the instances miss the bound by exactly one (tightness).
+"""
+
+from _tables import print_table
+from repro.consensus import algorithm1_factory, check_local_broadcast
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    low_connectivity_graph,
+    vertex_connectivity,
+)
+from repro.lowerbounds import connectivity_scenario, run_scenario
+
+
+def bridged_triangles():
+    return Graph(
+        range(7),
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (2, 6), (6, 3)],
+    )
+
+
+CASES = [
+    ("two triangles bridged", bridged_triangles(), 1),
+    ("C6", cycle_graph(6), 2),
+    ("cliques w/ 3-cut", low_connectivity_graph(2), 2),
+]
+
+
+def run_all():
+    rows = []
+    for name, graph, f in CASES:
+        scenario = connectivity_scenario(graph, f)
+        outcome = run_scenario(scenario, algorithm1_factory(graph, f))
+        flags = ["V" if e.violated else "ok" for e in outcome.executions]
+        rows.append(
+            (
+                name,
+                f,
+                vertex_connectivity(graph),
+                (3 * f) // 2 + 1,
+                *flags,
+                "yes" if outcome.violation_demonstrated else "NO",
+                "yes" if outcome.fully_indistinguishable else "NO",
+            )
+        )
+    return rows
+
+
+def test_fig3_connectivity_necessity(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Figure 3 / Lemma A.2: cut-limited graphs break in E2",
+        ["graph", "f", "kappa", "need", "E1", "E2", "E3", "violated", "indist."],
+        rows,
+    )
+    for row in rows:
+        assert row[-2] == "yes"
+        assert row[-1] == "yes"
+        assert row[5] == "V"
+
+
+def test_fig3_tight_instance_margin(benchmark):
+    def margin():
+        report = check_local_broadcast(low_connectivity_graph(2), 2)
+        (clause,) = report.failing()
+        return clause.margin
+
+    value = benchmark(margin)
+    print_table(
+        "Tightness: cliques-with-cut miss the bound by exactly one",
+        ["failing clause margin"],
+        [(value,)],
+    )
+    assert value == -1

@@ -1,0 +1,84 @@
+"""FIG4 — Lemma D.1 / Figure 4: under the hybrid model, some set S with
+|S| ≤ t and at most 2f neighbors makes consensus impossible.
+
+Regenerates: the (F¹, F², R, T) partition of N(S), the doubled (W, T)
+covering network with an equivocating-T execution E2, and the forced
+violation there.
+"""
+
+from _tables import print_table
+from repro.consensus import algorithm3_factory, check_hybrid
+from repro.graphs import Graph, min_set_neighborhood
+from repro.lowerbounds import hybrid_neighborhood_scenario, run_scenario
+
+
+def pendant_pair_graph():
+    """K4 plus a node attached to only two of it: |N({4})| = 2 = 2f."""
+    return Graph(
+        range(5),
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 0), (4, 1)],
+    )
+
+
+def k6_pendant_graph():
+    """K6 plus a node attached to only two of it: |N({6})| = 2 = 2f."""
+    edges = [(a, b) for a in range(6) for b in range(a + 1, 6)]
+    edges += [(6, 0), (6, 1)]
+    return Graph(range(7), edges)
+
+
+CASES = [
+    ("K4+pendant", pendant_pair_graph(), 1, 1),
+    ("K6+pendant", k6_pendant_graph(), 1, 1),
+]
+
+
+def run_all():
+    rows = []
+    for name, graph, f, t in CASES:
+        scenario = hybrid_neighborhood_scenario(graph, f, t)
+        outcome = run_scenario(scenario, algorithm3_factory(graph, f, t))
+        nbrs, witness = min_set_neighborhood(graph, t)
+        flags = ["V" if e.violated else "ok" for e in outcome.executions]
+        rows.append(
+            (
+                name,
+                f,
+                t,
+                nbrs,
+                2 * f + 1,
+                *flags,
+                "yes" if outcome.violation_demonstrated else "NO",
+                "yes" if outcome.fully_indistinguishable else "NO",
+            )
+        )
+    return rows
+
+
+def test_fig4_hybrid_neighborhood_necessity(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print_table(
+        "Figure 4 / Lemma D.1: small-neighborhood sets break hybrid consensus",
+        ["graph", "f", "t", "|N(S)|", "need", "E1", "E2", "E3",
+         "violated", "indist."],
+        rows,
+    )
+    for row in rows:
+        assert row[-2] == "yes"
+        assert row[-1] == "yes"
+        assert row[6] == "V"  # the equivocating execution E2 breaks
+
+
+def test_fig4_condition_iii_flags_the_graphs(benchmark):
+    def check():
+        return [
+            check_hybrid(graph, f, t).feasible for _, graph, f, t in CASES
+        ]
+
+    verdicts = benchmark(check)
+    print_table(
+        "Theorem 6.1(iii) on the same graphs",
+        ["graph", "feasible"],
+        [(CASES[i][0], verdicts[i]) for i in range(len(CASES))],
+    )
+    assert verdicts == [False, False]

@@ -1,0 +1,88 @@
+"""ITER — §2's contrast with iterative approximate consensus (W-MSR).
+
+Regenerates: the paper's remark that restricted iterative algorithms
+(LeBlanc et al.) need robustness 2f+1 — strictly more than the tight
+exact-consensus conditions — and achieve only approximate agreement.
+On Figure 1(a)'s C5: exact consensus works, W-MSR stalls; on K5 both
+work, but W-MSR's agreement is approximate while Algorithm 1's is exact.
+"""
+
+from _tables import print_table
+from repro.consensus import (
+    algorithm1_factory,
+    check_local_broadcast,
+    max_robustness,
+    run_consensus,
+    run_wmsr,
+    wmsr_requirement,
+)
+from repro.graphs import complete_graph, cycle_graph, paper_figure_1a, wheel_graph
+from repro.net import TamperForwardAdversary
+
+INPUTS = {0: 0.0, 1: 1.0, 2: 0.2, 3: 0.8, 4: 0.5}
+PIN_HIGH = {0: (lambda r: 100.0)}
+
+
+def requirement_rows():
+    rows = []
+    for name, graph in [
+        ("C4", cycle_graph(4)),
+        ("C5 (Fig 1a)", paper_figure_1a()),
+        ("W5 wheel", wheel_graph(5)),
+        ("K5", complete_graph(5)),
+    ]:
+        rows.append(
+            (
+                name,
+                "yes" if check_local_broadcast(graph, 1).feasible else "no",
+                max_robustness(graph),
+                wmsr_requirement(1),
+                "yes" if max_robustness(graph) >= wmsr_requirement(1) else "no",
+            )
+        )
+    return rows
+
+
+def test_iter_requirement_gap(benchmark):
+    rows = benchmark.pedantic(requirement_rows, rounds=1, iterations=1)
+    print_table(
+        "Exact-consensus feasibility vs W-MSR robustness (f = 1)",
+        ["graph", "exact feasible", "robustness", "W-MSR needs",
+         "W-MSR feasible"],
+        rows,
+    )
+    # The gap: graphs exist that are exact-feasible but W-MSR-infeasible…
+    assert any(r[1] == "yes" and r[4] == "no" for r in rows)
+    # …and never the other way around on these instances.
+    assert not any(r[1] == "no" and r[4] == "yes" for r in rows)
+
+
+def run_contrast():
+    c5 = paper_figure_1a()
+    k5 = complete_graph(5)
+    exact = run_consensus(
+        c5, algorithm1_factory(c5, 1), {v: v % 2 for v in c5.nodes},
+        f=1, faulty=[0], adversary=TamperForwardAdversary(),
+    )
+    stall = run_wmsr(c5, INPUTS, f=1, rounds=100, faulty=PIN_HIGH)
+    healthy = run_wmsr(k5, INPUTS, f=1, rounds=100, faulty=PIN_HIGH)
+    return exact, stall, healthy
+
+
+def test_iter_dynamics_contrast(benchmark):
+    exact, stall, healthy = benchmark.pedantic(run_contrast, rounds=1,
+                                               iterations=1)
+    print_table(
+        "Dynamics under one Byzantine node (pin-high attack, 100 rounds)",
+        ["stack", "graph", "agreement", "final range"],
+        [
+            ("Algorithm 1 (exact)", "C5", exact.agreement, "0 (exact)"),
+            ("W-MSR (iterative)", "C5", stall.converged,
+             f"{stall.final_range:.3f}"),
+            ("W-MSR (iterative)", "K5", healthy.converged,
+             f"{healthy.final_range:.2e}"),
+        ],
+    )
+    assert exact.consensus
+    assert not stall.converged and stall.final_range >= 0.2
+    assert healthy.converged

@@ -1,0 +1,101 @@
+"""CMP — local broadcast vs point-to-point, head to head.
+
+Regenerates: the Section 1 comparison table (connectivity 2f+1 vs
+⌊3f/2⌋+1, node count 3f+1 vs 2f+1), the max-f each model tolerates on
+common graphs, and the K3 duel where the point-to-point baseline is
+broken by equivocation while the local-broadcast algorithm succeeds.
+"""
+
+from _tables import print_table
+from repro.analysis import requirement_table
+from repro.consensus import (
+    algorithm1_factory,
+    eig_factory,
+    max_f_local_broadcast,
+    max_f_point_to_point,
+    run_consensus,
+)
+from repro.consensus.baselines import EIGEquivocatingAdversary
+from repro.graphs import (
+    complete_graph,
+    harary_graph,
+    paper_figure_1a,
+    paper_figure_1b,
+    petersen_graph,
+)
+from repro.net import TamperForwardAdversary, point_to_point_model
+
+
+def test_cmp_requirement_table(benchmark):
+    rows = benchmark(requirement_table, 6)
+    print_table(
+        "Requirements per model (Section 1)",
+        ["f", "kappa p2p", "kappa LB", "min n p2p", "min n LB",
+         "kappa saved", "nodes saved"],
+        [
+            (r.f, r.p2p_connectivity, r.lb_connectivity, r.p2p_min_nodes,
+             r.lb_min_nodes, r.connectivity_saving, r.node_saving)
+            for r in rows
+        ],
+    )
+    for r in rows:
+        assert r.lb_connectivity <= r.p2p_connectivity
+        assert r.lb_min_nodes == 2 * r.f + 1
+        assert r.p2p_min_nodes == 3 * r.f + 1
+
+
+def test_cmp_max_f_per_graph(benchmark):
+    def compute():
+        graphs = [
+            ("K3", complete_graph(3)),
+            ("K4", complete_graph(4)),
+            ("K7", complete_graph(7)),
+            ("C5 (Fig 1a)", paper_figure_1a()),
+            ("C8(1,2) (Fig 1b)", paper_figure_1b()),
+            ("Petersen", petersen_graph()),
+            ("Harary H_{4,9}", harary_graph(4, 9)),
+        ]
+        return [
+            (name, max_f_local_broadcast(g), max_f_point_to_point(g))
+            for name, g in graphs
+        ]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    print_table(
+        "Max tolerable f per graph (who wins: local broadcast, everywhere)",
+        ["graph", "max f (LB)", "max f (p2p)"],
+        rows,
+    )
+    for _name, lb, p2p in rows:
+        assert lb >= p2p
+    assert dict((r[0], r[1:]) for r in rows)["K7"] == (3, 2)
+
+
+def test_cmp_k3_duel(benchmark):
+    def duel():
+        g = complete_graph(3)
+        inputs = {v: 1 for v in g.nodes}
+        broken = run_consensus(
+            g, eig_factory(g, 1), inputs, f=1,
+            faulty=[2], adversary=EIGEquivocatingAdversary(),
+            channel=point_to_point_model(),
+        )
+        fine = run_consensus(
+            g, algorithm1_factory(g, 1), inputs, f=1,
+            faulty=[2], adversary=TamperForwardAdversary(),
+        )
+        return broken, fine
+
+    broken, fine = benchmark.pedantic(duel, rounds=1, iterations=1)
+    print_table(
+        "K3, f=1: the crossover instance",
+        ["stack", "agreement", "validity", "outputs"],
+        [
+            ("p2p EIG + equivocator", broken.agreement, broken.validity,
+             str(broken.honest_outputs)),
+            ("LB Algorithm 1 + tamperer", fine.agreement, fine.validity,
+             str(fine.honest_outputs)),
+        ],
+    )
+    assert not (broken.agreement and broken.validity)
+    assert fine.consensus

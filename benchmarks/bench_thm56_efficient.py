@@ -1,0 +1,77 @@
+"""THM5.6 — Algorithm 2 runs in O(n) rounds on 2f-connected graphs.
+
+Regenerates: the rounds-vs-n series (exactly ≤ 3n, linear) against
+Algorithm 1's phases·n blowup on the same instances, plus the speedup
+factor — the paper's efficiency claim as a measured series.
+"""
+
+from _tables import print_table
+from repro.analysis import predicted_costs
+from repro.consensus import (
+    algorithm1_factory,
+    algorithm2_factory,
+    run_consensus,
+)
+from repro.graphs import circulant_graph, cycle_graph
+from repro.net import TamperForwardAdversary
+
+SERIES = [4, 5, 6, 7, 8]
+
+
+def measure_series():
+    rows = []
+    for n in SERIES:
+        graph = cycle_graph(n)  # 2-connected = 2f for f = 1
+        res = run_consensus(
+            graph, algorithm2_factory(graph, 1),
+            {v: v % 2 for v in graph.nodes}, f=1,
+            faulty=[n - 1], adversary=TamperForwardAdversary(),
+        )
+        cm = predicted_costs(graph, 1)
+        rows.append(
+            (
+                n,
+                res.rounds,
+                3 * n,
+                cm.rounds_algorithm1,
+                f"{cm.rounds_algorithm1 / (3 * n):.1f}x",
+                res.consensus,
+            )
+        )
+    return rows
+
+
+def test_thm56_linear_rounds(benchmark):
+    rows = benchmark.pedantic(measure_series, rounds=1, iterations=1)
+    print_table(
+        "Theorem 5.6: Algorithm 2 rounds vs n (cycles, f = 1)",
+        ["n", "rounds", "3n bound", "Alg.1 rounds", "blowup", "consensus"],
+        rows,
+    )
+    for row in rows:
+        assert row[5]            # consensus everywhere
+        assert row[1] <= row[2]  # within the 3n bound
+    # Linearity: measured rounds grow by <= 3 per extra node.
+    deltas = [rows[i + 1][1] - rows[i][1] for i in range(len(rows) - 1)]
+    assert all(0 <= d <= 3 for d in deltas)
+    # The exact algorithm's blowup grows with n, the efficient one's doesn't.
+    blowups = [float(r[4].rstrip("x")) for r in rows]
+    assert blowups == sorted(blowups)
+
+
+def test_thm56_f2_instance(benchmark):
+    def run():
+        graph = circulant_graph(6, [1, 2])  # 4-connected = 2f for f = 2
+        return run_consensus(
+            graph, algorithm2_factory(graph, 2),
+            {v: v % 2 for v in graph.nodes}, f=2,
+            faulty=[0, 3], adversary=TamperForwardAdversary(),
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Theorem 5.6 at f = 2 (C6(1,2), two tamperers)",
+        ["rounds", "3n bound", "consensus", "transmissions"],
+        [(res.rounds, 18, res.consensus, res.transmissions)],
+    )
+    assert res.consensus and res.rounds <= 18

@@ -1,0 +1,93 @@
+"""THM6.1 — the hybrid trade-off: connectivity required vs t.
+
+Regenerates: the bridge ⌊3(f−t)/2⌋ + 2t + 1 from the local-broadcast
+bound (t = 0) to the point-to-point bound (t = f), the feasibility of
+complete graphs along it, and live Algorithm 3 runs at both endpoints.
+"""
+
+from _tables import print_table
+from repro.analysis import hybrid_tradeoff_table
+from repro.consensus import (
+    algorithm3_factory,
+    check_hybrid,
+    hybrid_threshold_connectivity,
+    local_broadcast_threshold_connectivity,
+    run_consensus,
+)
+from repro.graphs import complete_graph
+from repro.net import EquivocatingAdversary, TamperForwardAdversary, hybrid_model
+
+
+def tradeoff_rows(max_f=5):
+    rows = []
+    for f in range(1, max_f + 1):
+        for t in range(f + 1):
+            rows.append((f, t, hybrid_threshold_connectivity(f, t)))
+    return rows
+
+
+def test_thm61_connectivity_bridge(benchmark):
+    rows = benchmark(tradeoff_rows)
+    print_table(
+        "Theorem 6.1: required connectivity vs equivocation budget t",
+        ["f", "t", "required kappa"],
+        rows,
+    )
+    by_f = {}
+    for f, t, k in rows:
+        by_f.setdefault(f, []).append(k)
+    for f, ks in by_f.items():
+        assert ks[0] == local_broadcast_threshold_connectivity(f)
+        assert ks[-1] == 2 * f + 1
+        assert ks == sorted(ks)  # each equivocator can only cost more
+
+
+def test_thm61_complete_graph_feasibility(benchmark):
+    def matrix():
+        rows = []
+        for f in (1, 2):
+            for t in range(f + 1):
+                small = check_hybrid(complete_graph(2 * f + 1), f, t).feasible
+                large = check_hybrid(complete_graph(3 * f + 1), f, t).feasible
+                rows.append((f, t, small, large))
+        return rows
+
+    rows = benchmark(matrix)
+    print_table(
+        "K_{2f+1} vs K_{3f+1} along the trade-off",
+        ["f", "t", "K_{2f+1} feasible", "K_{3f+1} feasible"],
+        rows,
+    )
+    for f, t, small, large in rows:
+        assert large  # K_{3f+1} is feasible for every t
+        if t == 0:
+            assert small  # the local-broadcast endpoint
+        if t == f:
+            assert not small  # equivocation pushes past K_{2f+1}
+
+
+def test_thm61_endpoint_runs(benchmark):
+    def run_both():
+        g0 = complete_graph(3)
+        r0 = run_consensus(
+            g0, algorithm3_factory(g0, 1, 0), {v: v % 2 for v in g0.nodes},
+            f=1, faulty=[0], adversary=TamperForwardAdversary(),
+        )
+        g1 = complete_graph(4)
+        r1 = run_consensus(
+            g1, algorithm3_factory(g1, 1, 1), {v: v % 2 for v in g1.nodes},
+            f=1, faulty=[0], adversary=EquivocatingAdversary(),
+            channel=hybrid_model({0}),
+        )
+        return r0, r1
+
+    r0, r1 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_table(
+        "Algorithm 3 at the endpoints",
+        ["instance", "consensus", "rounds"],
+        [
+            ("t=0 on K3 (tamperer)", r0.consensus, r0.rounds),
+            ("t=1 on K4 (equivocator)", r1.consensus, r1.rounds),
+        ],
+    )
+    assert r0.consensus and r1.consensus

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Wireless-inspired scenario: the efficient algorithm on a radio mesh.
+
+The local broadcast model is motivated by radio networks (Koo PODC'04,
+Bhandari-Vaidya PODC'05): every transmission is overheard by all radio
+neighbors, so a Byzantine station cannot whisper different bits to
+different neighbors.  This example builds a mesh of stations (a
+circulant "ring of radios" — each station hears its 2 nearest neighbors
+per side), checks 2f-connectivity, and runs Algorithm 2 (Appendix C):
+
+* one station is Byzantine and tampers relayed values;
+* honest stations localize the faulty station from overheard reports
+  (becoming "type A") and agree in exactly 3n rounds.
+
+Run:  python examples/radio_network.py
+"""
+
+from repro.consensus import algorithm2_factory, check_local_broadcast
+from repro.consensus.runner import run_consensus
+from repro.graphs import circulant_graph, is_k_connected
+from repro.net import FaultSpec, SynchronousNetwork, TamperForwardAdversary
+from repro.net.channels import local_broadcast_model
+
+
+def main() -> None:
+    f = 1
+    n = 6
+    mesh = circulant_graph(n, [1, 2])  # each radio hears 4 neighbors
+    print(f"=== Radio mesh: {n} stations, degree {mesh.min_degree()} ===")
+    print(f"2f-connected (f={f}): {is_k_connected(mesh, 2 * f)}")
+    print(check_local_broadcast(mesh, f))
+
+    inputs = {v: (0 if v < 3 else 1) for v in mesh.nodes}
+    byzantine = 2
+    print(f"\ninputs: {inputs}; Byzantine station: {byzantine} (tampers relays)")
+
+    # Run with direct access to protocol state so we can show the fault
+    # localization (type A/B machinery) the paper describes in Appendix C.
+    channel = local_broadcast_model()
+    factory = algorithm2_factory(mesh, f)
+    adversary = TamperForwardAdversary()
+    protocols = {}
+    for v in sorted(mesh.nodes):
+        if v == byzantine:
+            spec = FaultSpec(
+                node=v, graph=mesh, channel=channel, input_value=inputs[v],
+                f=f, faulty=frozenset({byzantine}), honest_factory=factory,
+            )
+            protocols[v] = adversary.build(spec)
+        else:
+            protocols[v] = factory(v, inputs[v])
+    net = SynchronousNetwork(mesh, protocols, channel)
+    net.run(3 * n)
+
+    print(f"\n=== After {net.round_no} rounds (= 3n) ===")
+    header = f"{'station':>8} {'type':>5} {'localized faults':>17} {'output':>7}"
+    print(header)
+    print("-" * len(header))
+    for v in sorted(mesh.nodes):
+        if v == byzantine:
+            print(f"{v:>8} {'BYZ':>5} {'-':>17} {'-':>7}")
+            continue
+        proto = protocols[v]
+        print(
+            f"{v:>8} {proto.node_type:>5} "
+            f"{str(sorted(proto.detected)):>17} {proto.output():>7}"
+        )
+
+    outputs = {protocols[v].output() for v in mesh.nodes if v != byzantine}
+    assert len(outputs) == 1, "agreement violated?!"
+    print(f"\nAll honest stations agree on {outputs.pop()}.")
+    print(f"Total transmissions: {net.trace.transmission_count}")
+
+    # Contrast: the same consensus via Algorithm 1 costs exponentially
+    # many phases; Algorithm 2 used 3n rounds.
+    result = run_consensus(
+        mesh, factory, inputs, f=f, faulty=[byzantine], adversary=adversary
+    )
+    print(f"Efficient algorithm rounds: {result.rounds} (bound 3n = {3 * n})")
+
+
+if __name__ == "__main__":
+    main()

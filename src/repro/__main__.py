@@ -1,0 +1,187 @@
+"""Command-line interface: quick checks and demos without writing code.
+
+Usage::
+
+    python -m repro check --graph cycle:5 --f 1 [--t 1]
+    python -m repro run   --graph cycle:5 --f 1 --algorithm 1 \
+                          --faulty 3 --adversary tamper-forward
+    python -m repro compare --max-f 5
+    python -m repro demo-impossibility --kind degree --f 1
+
+Graph specs: ``cycle:N``, ``complete:N``, ``path:N``, ``wheel:N``,
+``circulant:N:d1,d2``, ``harary:K:N``, ``petersen``, ``fig1a``,
+``fig1b``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import consensus, graphs
+from .analysis import requirement_table
+from .lowerbounds import (
+    connectivity_scenario,
+    degree_scenario,
+    run_scenario,
+)
+from .net import standard_adversaries
+from .net.channels import hybrid_model, local_broadcast_model
+
+
+def parse_graph(spec: str) -> graphs.Graph:
+    """Parse a ``family:args`` graph spec into a Graph."""
+    parts = spec.split(":")
+    family = parts[0]
+    if family == "cycle":
+        return graphs.cycle_graph(int(parts[1]))
+    if family == "complete":
+        return graphs.complete_graph(int(parts[1]))
+    if family == "path":
+        return graphs.path_graph(int(parts[1]))
+    if family == "wheel":
+        return graphs.wheel_graph(int(parts[1]))
+    if family == "star":
+        return graphs.star_graph(int(parts[1]))
+    if family == "circulant":
+        offsets = [int(x) for x in parts[2].split(",")]
+        return graphs.circulant_graph(int(parts[1]), offsets)
+    if family == "harary":
+        return graphs.harary_graph(int(parts[1]), int(parts[2]))
+    if family == "petersen":
+        return graphs.petersen_graph()
+    if family == "fig1a":
+        return graphs.paper_figure_1a()
+    if family == "fig1b":
+        return graphs.paper_figure_1b()
+    raise SystemExit(f"unknown graph spec {spec!r}")
+
+
+def find_adversary(name: str):
+    for adversary in standard_adversaries():
+        if adversary.name == name:
+            return adversary
+    names = [a.name for a in standard_adversaries()]
+    raise SystemExit(f"unknown adversary {name!r}; choose from {names}")
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    graph = parse_graph(args.graph)
+    print(f"graph: n={graph.n}, m={graph.edge_count}, "
+          f"min degree={graph.min_degree()}, "
+          f"kappa={graphs.vertex_connectivity(graph)}")
+    print(consensus.check_local_broadcast(graph, args.f))
+    print(consensus.check_point_to_point(graph, args.f))
+    if args.t is not None:
+        print(consensus.check_hybrid(graph, args.f, args.t))
+    print(f"max f (local broadcast): {consensus.max_f_local_broadcast(graph)}")
+    print(f"max f (point-to-point):  {consensus.max_f_point_to_point(graph)}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = parse_graph(args.graph)
+    if args.algorithm == "1":
+        factory = consensus.algorithm1_factory(graph, args.f)
+    elif args.algorithm == "2":
+        factory = consensus.algorithm2_factory(graph, args.f)
+    elif args.algorithm == "3":
+        factory = consensus.algorithm3_factory(graph, args.f, args.t or 0)
+    else:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    nodes = sorted(graph.nodes, key=repr)
+    inputs = {v: i % 2 for i, v in enumerate(nodes)}
+    faulty = []
+    adversary = None
+    channel = local_broadcast_model()
+    if args.faulty:
+        faulty = [nodes[int(i)] for i in args.faulty.split(",")]
+        adversary = find_adversary(args.adversary)
+    if args.algorithm == "3" and args.t:
+        channel = hybrid_model(set(faulty[: args.t]))
+    result = consensus.run_consensus(
+        graph, factory, inputs, f=args.f, faulty=faulty,
+        adversary=adversary, channel=channel,
+    )
+    print(f"inputs        : {inputs}")
+    print(f"faulty        : {faulty} ({args.adversary if faulty else 'none'})")
+    print(f"honest outputs: {result.honest_outputs}")
+    print(f"agreement     : {result.agreement}")
+    print(f"validity      : {result.validity}")
+    print(f"rounds        : {result.rounds}")
+    print(f"transmissions : {result.transmissions}")
+    return 0 if result.consensus else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    print(f"{'f':>3} {'kappa p2p':>10} {'kappa LB':>9} "
+          f"{'min n p2p':>10} {'min n LB':>9}")
+    for row in requirement_table(args.max_f):
+        print(f"{row.f:>3} {row.p2p_connectivity:>10} "
+              f"{row.lb_connectivity:>9} {row.p2p_min_nodes:>10} "
+              f"{row.lb_min_nodes:>9}")
+    return 0
+
+
+def cmd_demo_impossibility(args: argparse.Namespace) -> int:
+    if args.kind == "degree":
+        graph = graphs.path_graph(3) if args.f == 1 else (
+            graphs.degree_deficient_graph(args.f)
+        )
+        scenario = degree_scenario(graph, args.f)
+    elif args.kind == "connectivity":
+        graph = graphs.low_connectivity_graph(args.f)
+        scenario = connectivity_scenario(graph, args.f)
+    else:
+        raise SystemExit("kind must be 'degree' or 'connectivity'")
+    factory = consensus.algorithm1_factory(graph, args.f)
+    outcome = run_scenario(scenario, factory)
+    print(outcome.summary())
+    print(f"indistinguishability: {outcome.fully_indistinguishable}")
+    return 0 if outcome.violation_demonstrated else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Exact Byzantine consensus under local broadcast "
+                    "(PODC 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="evaluate feasibility conditions")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--f", type=int, required=True)
+    p.add_argument("--t", type=int, default=None)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("run", help="run a consensus algorithm")
+    p.add_argument("--graph", required=True)
+    p.add_argument("--f", type=int, required=True)
+    p.add_argument("--t", type=int, default=None)
+    p.add_argument("--algorithm", default="1", choices=["1", "2", "3"])
+    p.add_argument("--faulty", default="",
+                   help="comma-separated node indices")
+    p.add_argument("--adversary", default="tamper-forward")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="print the model-requirement table")
+    p.add_argument("--max-f", type=int, default=5)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("demo-impossibility",
+                       help="run a covering-network violation demo")
+    p.add_argument("--kind", default="degree",
+                   choices=["degree", "connectivity"])
+    p.add_argument("--f", type=int, default=1)
+    p.set_defaults(fn=cmd_demo_impossibility)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

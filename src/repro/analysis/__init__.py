@@ -1,0 +1,43 @@
+"""Analysis layer: requirement curves, cost models, experiment sweeps."""
+
+from .metrics import (
+    CostModel,
+    expected_flood_deliveries,
+    phase_count_table,
+    predicted_costs,
+)
+from .requirements import (
+    HybridRow,
+    RequirementRow,
+    equivocation_price,
+    feasibility_matrix,
+    hybrid_tradeoff_table,
+    requirement_table,
+    smallest_feasible_complete_graph,
+)
+from .sweep import (
+    SweepRecord,
+    SweepReport,
+    consensus_sweep,
+    fault_subsets,
+    input_patterns,
+)
+
+__all__ = [
+    "CostModel",
+    "HybridRow",
+    "RequirementRow",
+    "SweepRecord",
+    "SweepReport",
+    "consensus_sweep",
+    "equivocation_price",
+    "expected_flood_deliveries",
+    "fault_subsets",
+    "feasibility_matrix",
+    "hybrid_tradeoff_table",
+    "input_patterns",
+    "phase_count_table",
+    "predicted_costs",
+    "requirement_table",
+    "smallest_feasible_complete_graph",
+]

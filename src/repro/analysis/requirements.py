@@ -1,0 +1,143 @@
+"""Requirement curves: the paper's quantitative comparison content.
+
+Section 1's punchline is that local broadcast *lowers* the network
+requirements relative to point-to-point:
+
+=================  =======================  ====================
+quantity            point-to-point           local broadcast
+=================  =======================  ====================
+connectivity        ``2f + 1``               ``⌊3f/2⌋ + 1``
+node count          ``n ≥ 3f + 1``           ``n ≥ 2f + 1``  (*)
+degree              (implied by κ)           ``≥ 2f``
+=================  =======================  ====================
+
+(*) the smallest feasible graph in each model is the complete graph on
+that many nodes; under local broadcast ``K_{2f+1}`` satisfies Theorem
+5.1, matching the Rabin/Ben-Or global-broadcast bound ``n ≥ 2f + 1``.
+
+Theorem 6.1 interpolates: with ``t`` equivocating faults the
+connectivity requirement is ``⌊3(f − t)/2⌋ + 2t + 1``, sweeping from the
+local-broadcast to the point-to-point figure as ``t`` goes ``0 → f``.
+This module computes those curves and the tables the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..consensus.conditions import (
+    check_hybrid,
+    check_local_broadcast,
+    check_point_to_point,
+    hybrid_threshold_connectivity,
+    local_broadcast_threshold_connectivity,
+)
+from ..graphs import Graph, complete_graph
+
+
+@dataclass(frozen=True, slots=True)
+class RequirementRow:
+    """One row of the model-comparison table for a given ``f``."""
+
+    f: int
+    lb_connectivity: int
+    p2p_connectivity: int
+    lb_min_nodes: int
+    p2p_min_nodes: int
+    lb_min_degree: int
+
+    @property
+    def connectivity_saving(self) -> int:
+        return self.p2p_connectivity - self.lb_connectivity
+
+    @property
+    def node_saving(self) -> int:
+        return self.p2p_min_nodes - self.lb_min_nodes
+
+
+def requirement_table(max_f: int) -> List[RequirementRow]:
+    """Local-broadcast vs point-to-point requirements for f = 1..max_f."""
+    rows = []
+    for f in range(1, max_f + 1):
+        rows.append(
+            RequirementRow(
+                f=f,
+                lb_connectivity=local_broadcast_threshold_connectivity(f),
+                p2p_connectivity=2 * f + 1,
+                lb_min_nodes=smallest_feasible_complete_graph(f, "local-broadcast"),
+                p2p_min_nodes=smallest_feasible_complete_graph(f, "point-to-point"),
+                lb_min_degree=2 * f,
+            )
+        )
+    return rows
+
+
+def smallest_feasible_complete_graph(f: int, model: str) -> int:
+    """The least ``n`` for which ``K_n`` satisfies the model's conditions.
+
+    Computed by actually running the condition checkers, not from the
+    closed form — so the table is an *output* of the library, checkable
+    against the paper's ``2f + 1`` vs ``3f + 1``.
+    """
+    check = {
+        "local-broadcast": lambda g: check_local_broadcast(g, f).feasible,
+        "point-to-point": lambda g: check_point_to_point(g, f).feasible,
+    }[model]
+    n = max(f + 1, 1)
+    while not check(complete_graph(n)):
+        n += 1
+    return n
+
+
+@dataclass(frozen=True, slots=True)
+class HybridRow:
+    """One row of the Theorem 6.1 trade-off table for fixed ``f``."""
+
+    f: int
+    t: int
+    connectivity_required: int
+    set_neighbor_requirement: Optional[int]  # 2f+1 for t>0, None at t=0
+    min_degree_requirement: Optional[int]  # 2f at t=0, None for t>0
+
+
+def hybrid_tradeoff_table(f: int) -> List[HybridRow]:
+    """Connectivity (and auxiliary) requirements as ``t`` sweeps 0..f."""
+    rows = []
+    for t in range(0, f + 1):
+        rows.append(
+            HybridRow(
+                f=f,
+                t=t,
+                connectivity_required=hybrid_threshold_connectivity(f, t),
+                set_neighbor_requirement=(2 * f + 1) if t > 0 else None,
+                min_degree_requirement=(2 * f) if t == 0 else None,
+            )
+        )
+    return rows
+
+
+def feasibility_matrix(
+    graph: Graph, max_f: int
+) -> List[Tuple[int, bool, bool, List[bool]]]:
+    """Per ``f``: (f, lb-feasible, p2p-feasible, [hybrid feasible for t=0..f]).
+
+    The shape the characterization benchmarks print: on which graphs and
+    for which fault budgets does each model declare consensus possible.
+    """
+    out = []
+    for f in range(1, max_f + 1):
+        lb = check_local_broadcast(graph, f).feasible
+        p2p = check_point_to_point(graph, f).feasible
+        hybrid = [check_hybrid(graph, f, t).feasible for t in range(0, f + 1)]
+        out.append((f, lb, p2p, hybrid))
+    return out
+
+
+def equivocation_price(f: int) -> List[Tuple[int, int]]:
+    """``(t, extra connectivity vs local broadcast)`` for ``t = 0..f`` —
+    the marginal network cost of each equivocating fault."""
+    base = local_broadcast_threshold_connectivity(f)
+    return [
+        (t, hybrid_threshold_connectivity(f, t) - base) for t in range(0, f + 1)
+    ]

@@ -1,0 +1,147 @@
+"""Deterministic experiment sweeps: families × fault sets × adversaries.
+
+The characterization experiments need a *universal* quantifier made
+concrete: "consensus holds for every fault placement and every adversary
+we model".  :func:`consensus_sweep` enumerates fault subsets (all of
+them, or a seeded sample) and runs the full adversary battery on each,
+collecting a single verdict plus per-run records for reporting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from ..consensus.runner import run_consensus
+from ..net.adversary import Adversary, standard_adversaries
+from ..net.channels import ChannelModel
+from ..graphs import Graph
+
+HonestFactory = callable
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (fault set, adversary, input pattern) run."""
+
+    faulty: Tuple[Hashable, ...]
+    adversary: str
+    inputs_name: str
+    consensus: bool
+    agreement: bool
+    validity: bool
+    rounds: int
+    transmissions: int
+    decision: Optional[int]
+
+
+@dataclass
+class SweepReport:
+    """Aggregate of a full sweep."""
+
+    records: List[SweepRecord] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def all_consensus(self) -> bool:
+        return all(r.consensus for r in self.records)
+
+    @property
+    def failures(self) -> List[SweepRecord]:
+        return [r for r in self.records if not r.consensus]
+
+    @property
+    def max_transmissions(self) -> int:
+        return max((r.transmissions for r in self.records), default=0)
+
+    @property
+    def max_rounds(self) -> int:
+        return max((r.rounds for r in self.records), default=0)
+
+
+def input_patterns(graph: Graph) -> Dict[str, Dict[Hashable, int]]:
+    """The canonical input assignments every sweep exercises."""
+    nodes = sorted(graph.nodes, key=repr)
+    half = len(nodes) // 2
+    return {
+        "all-zero": {v: 0 for v in nodes},
+        "all-one": {v: 1 for v in nodes},
+        "alternating": {v: i % 2 for i, v in enumerate(nodes)},
+        "split": {v: (0 if i < half else 1) for i, v in enumerate(nodes)},
+    }
+
+
+def fault_subsets(
+    graph: Graph,
+    f: int,
+    limit: Optional[int] = None,
+    seed: int = 0,
+    include_empty: bool = False,
+) -> List[Tuple[Hashable, ...]]:
+    """Subsets of size ≤ f to place faults on (exactly-f subsets first).
+
+    With ``limit`` set, a seeded sample keeps sweeps tractable on larger
+    graphs while staying reproducible.
+    """
+    nodes = sorted(graph.nodes, key=repr)
+    sizes = range(0 if include_empty else 1, f + 1)
+    subsets: List[Tuple[Hashable, ...]] = []
+    for size in sorted(sizes, reverse=True):
+        subsets.extend(combinations(nodes, size))
+    if limit is not None and len(subsets) > limit:
+        rng = random.Random(seed)
+        subsets = rng.sample(subsets, limit)
+        subsets.sort(key=repr)
+    return subsets
+
+
+def consensus_sweep(
+    graph: Graph,
+    honest_factory,
+    f: int,
+    adversaries: Optional[Sequence[Adversary]] = None,
+    channel: Optional[ChannelModel] = None,
+    fault_limit: Optional[int] = None,
+    patterns: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> SweepReport:
+    """Run the full battery and report whether consensus *always* held."""
+    adversaries = (
+        list(adversaries) if adversaries is not None else standard_adversaries(seed)
+    )
+    all_patterns = input_patterns(graph)
+    chosen = (
+        {k: all_patterns[k] for k in patterns} if patterns is not None else all_patterns
+    )
+    report = SweepReport()
+    for faulty in fault_subsets(graph, f, limit=fault_limit, seed=seed):
+        for adversary in adversaries:
+            for name, inputs in chosen.items():
+                result = run_consensus(
+                    graph,
+                    honest_factory,
+                    inputs,
+                    f=f,
+                    faulty=faulty,
+                    adversary=adversary,
+                    channel=channel,
+                )
+                report.records.append(
+                    SweepRecord(
+                        faulty=tuple(faulty),
+                        adversary=adversary.name,
+                        inputs_name=name,
+                        consensus=result.consensus,
+                        agreement=result.agreement,
+                        validity=result.validity,
+                        rounds=result.rounds,
+                        transmissions=result.transmissions,
+                        decision=result.decision,
+                    )
+                )
+    return report

@@ -1,0 +1,101 @@
+"""Consensus layer: the paper's algorithms, conditions, and baselines.
+
+* :mod:`~repro.consensus.conditions` — the tight feasibility conditions
+  (Theorems 4.1/5.1, 6.1) plus the classical point-to-point bound;
+* :mod:`~repro.consensus.flooding` — path-annotated flooding with the
+  rules (i)-(iv) of Section 5.1;
+* :mod:`~repro.consensus.algorithm1` — exact consensus under local
+  broadcast (exponential phases, tight condition);
+* :mod:`~repro.consensus.algorithm2` — the O(n)-round algorithm for
+  2f-connected graphs (Appendix C), on reliable receipt (Definition C.1);
+* :mod:`~repro.consensus.algorithm3` — the hybrid-model algorithm
+  (Appendix D.2);
+* :mod:`~repro.consensus.baselines` — classical point-to-point EIG and
+  Dolev-style relay, for the model comparison;
+* :mod:`~repro.consensus.runner` — one-call experiment driver.
+"""
+
+from .algorithm1 import (
+    Algorithm1Protocol,
+    ExactConsensusProtocol,
+    algorithm1_factory,
+    candidate_fault_sets,
+    candidate_pairs,
+    phase_count,
+)
+from .algorithm2 import Algorithm2Protocol, algorithm2_factory, majority
+from .algorithm3 import Algorithm3Protocol, algorithm3_factory
+from .baselines import (
+    DolevEIGProtocol,
+    EIGEquivocatingAdversary,
+    EIGProtocol,
+    dolev_eig_factory,
+    eig_factory,
+)
+from .conditions import (
+    Clause,
+    ConditionReport,
+    check_hybrid,
+    check_local_broadcast,
+    check_point_to_point,
+    hybrid_threshold_connectivity,
+    local_broadcast_threshold_connectivity,
+    max_f_hybrid,
+    max_f_local_broadcast,
+    max_f_point_to_point,
+)
+from .flooding import FloodInstance, flood_rounds
+from .iterative import (
+    WMSRResult,
+    is_r_robust,
+    max_robustness,
+    run_wmsr,
+    wmsr_requirement,
+)
+from .path_engine import NodeBehavior, PathFloodEngine
+from .reliable import ClaimIndex, ReportBundle, detect_faults, reliable_value
+from .runner import ConsensusResult, run_consensus
+
+__all__ = [
+    "Algorithm1Protocol",
+    "Algorithm2Protocol",
+    "Algorithm3Protocol",
+    "ClaimIndex",
+    "Clause",
+    "ConditionReport",
+    "ConsensusResult",
+    "DolevEIGProtocol",
+    "EIGEquivocatingAdversary",
+    "EIGProtocol",
+    "ExactConsensusProtocol",
+    "FloodInstance",
+    "NodeBehavior",
+    "PathFloodEngine",
+    "ReportBundle",
+    "WMSRResult",
+    "algorithm1_factory",
+    "algorithm2_factory",
+    "algorithm3_factory",
+    "candidate_fault_sets",
+    "candidate_pairs",
+    "check_hybrid",
+    "check_local_broadcast",
+    "check_point_to_point",
+    "detect_faults",
+    "dolev_eig_factory",
+    "eig_factory",
+    "flood_rounds",
+    "hybrid_threshold_connectivity",
+    "is_r_robust",
+    "max_robustness",
+    "local_broadcast_threshold_connectivity",
+    "majority",
+    "max_f_hybrid",
+    "max_f_local_broadcast",
+    "max_f_point_to_point",
+    "phase_count",
+    "reliable_value",
+    "run_wmsr",
+    "wmsr_requirement",
+    "run_consensus",
+]

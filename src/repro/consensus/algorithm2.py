@@ -1,0 +1,246 @@
+"""Algorithm 2: the O(n)-round consensus for 2f-connected graphs (App. C).
+
+Three flooding phases of ``n`` rounds each (Theorem 5.6):
+
+* **phase 1** (rounds ``1..n``) — every node floods its input value with
+  the rules of Section 5.1;
+* **phase 2** (rounds ``n+1..2n``) — every node floods a *report*: the
+  complete timed transcript of everything each neighbor transmitted in
+  phase 1 (under local broadcast a node hears all of it).  From the
+  reports, each node runs the fault-localization rule of Appendix C: on
+  ``2f`` node-disjoint paths from every reliably-received origin, the
+  first provable deviator per path is faulty.  A node that has localized
+  all ``f`` faults becomes **type A**; everyone else is **type B**;
+* **phase 3** (rounds ``2n+1..3n``) — type-B nodes decide the majority
+  of the values they reliably received and flood that decision; type-A
+  nodes adopt any decision arriving from a non-faulty node over a
+  fault-free path, falling back to the majority of the non-faulty
+  inputs they can read over fault-free paths (which, knowing the fault
+  set, they always can).
+
+Everything is expressed through :class:`~repro.consensus.flooding
+.FloodInstance` and the reliable-receipt machinery of
+:mod:`repro.consensus.reliable`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from ..graphs import Graph
+from ..net.messages import DecisionPayload, ValuePayload
+from ..net.node import Context, Protocol
+from .flooding import FloodInstance
+from .reliable import ClaimIndex, ReportBundle, detect_faults, reliable_value
+
+PathTuple = Tuple[Hashable, ...]
+
+
+def majority(values: List[int]) -> int:
+    """Majority of a list of bits; ties decide 0 (the paper's rule)."""
+    ones = sum(values)
+    zeros = len(values) - ones
+    return 1 if ones > zeros else 0
+
+
+class Algorithm2Protocol(Protocol):
+    """Appendix C's efficient protocol.  Requires ``G`` 2f-connected."""
+
+    PHASE1 = ("efficient", 1)
+    PHASE2 = ("efficient", 2)
+    PHASE3 = ("efficient", 3)
+
+    def __init__(self, graph: Graph, node: Hashable, f: int, input_value: int):
+        if input_value not in (0, 1):
+            raise ValueError("binary input expected")
+        self.graph = graph
+        self.me = node
+        self.f = f
+        self.input_value = input_value
+        self.n = graph.n
+        self.total_rounds = 3 * self.n
+        self._flood1: Optional[FloodInstance] = None
+        self._flood2: Optional[FloodInstance] = None
+        self._flood3: Optional[FloodInstance] = None
+        self._transcripts: Dict[Hashable, List[Tuple[int, object]]] = {}
+        self._own_sent: List[Tuple[int, object]] = []
+        self.reliable_values: Dict[Hashable, int] = {}
+        self.detected: Set[Hashable] = set()
+        self.node_type: Optional[str] = None  # "A" or "B" after phase 2
+        self._output: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: Context) -> None:
+        r = ctx.round_no
+        n = self.n
+        if r > self.total_rounds:
+            return
+        # Phase-1 transcript recording: transmissions of rounds 1..n are
+        # heard in rounds 2..n+1.  Everything a neighbor sends is on the
+        # record — that is the local broadcast advantage.
+        if 2 <= r <= n + 1:
+            for sender, message in ctx.inbox:
+                self._transcripts.setdefault(sender, []).append((r - 1, message))
+
+        if r == 1:
+            self._flood1 = FloodInstance(
+                self.graph,
+                self.me,
+                phase=self.PHASE1,
+                default_payload=ValuePayload(1),
+                validator=self._valid_value,
+            )
+            self._flood1.initiate(ctx, ValuePayload(self.input_value))
+        elif r <= n:
+            assert self._flood1 is not None
+            self._flood1.process_round(ctx)
+        elif r == n + 1:
+            self._start_phase2(ctx)
+        elif r <= 2 * n:
+            assert self._flood2 is not None
+            self._flood2.process_round(ctx)
+            if r == 2 * n:
+                self._conclude_phase2()
+        elif r == 2 * n + 1:
+            self._start_phase3(ctx)
+        elif r <= 3 * n:
+            assert self._flood3 is not None
+            self._flood3.process_round(ctx)
+            if r == 3 * n and self.node_type == "A":
+                self._decide_type_a()
+
+        if r <= n:
+            self._own_sent.extend((r, out.message) for out in ctx.outbox)
+
+    def output(self) -> Optional[int]:
+        return self._output
+
+    # ------------------------------------------------------------------
+    # Phase 2: reports and fault localization
+    # ------------------------------------------------------------------
+    def _start_phase2(self, ctx: Context) -> None:
+        transcripts = {
+            nbr: self._transcripts.get(nbr, [])
+            for nbr in sorted(self.graph.neighbors(self.me), key=repr)
+        }
+        bundle = ReportBundle.build(self.me, transcripts)
+        self._flood2 = FloodInstance(
+            self.graph,
+            self.me,
+            phase=self.PHASE2,
+            default_payload=None,
+            validator=self._valid_bundle,
+        )
+        self._flood2.initiate(ctx, bundle)
+
+    def _valid_value(self, payload, full_path) -> bool:
+        return isinstance(payload, ValuePayload)
+
+    def _valid_bundle(self, payload, full_path) -> bool:
+        if not isinstance(payload, ReportBundle):
+            return False
+        if payload.reporter != full_path[0]:
+            return False
+        subjects = [s for s, _ in payload.entries]
+        if len(set(subjects)) != len(subjects):
+            return False
+        return all(
+            s in self.graph.nodes and payload.reporter in self.graph.neighbors(s)
+            for s in subjects
+        )
+
+    def _valid_decision(self, payload, full_path) -> bool:
+        return isinstance(payload, DecisionPayload) and payload.value in (0, 1)
+
+    def _conclude_phase2(self) -> None:
+        assert self._flood1 is not None and self._flood2 is not None
+        for origin in sorted(self.graph.nodes, key=repr):
+            value = reliable_value(
+                self.graph, self.f, self.me, self._flood1.delivered, origin
+            )
+            if value is not None:
+                self.reliable_values[origin] = value
+        bundles = {
+            path: payload
+            for path, payload in self._flood2.delivered.items()
+            if isinstance(payload, ReportBundle) and len(path) >= 2
+        }
+        claims = ClaimIndex(
+            self.graph,
+            self.f,
+            self.me,
+            bundle_deliveries=bundles,
+            own_transcripts={
+                nbr: tuple(msgs) for nbr, msgs in self._transcripts.items()
+            },
+            own_sent=tuple(self._own_sent),
+        )
+        self.detected = detect_faults(
+            self.graph,
+            self.f,
+            self.me,
+            self.reliable_values,
+            claims,
+            phase1_tag=self.PHASE1,
+            first_round=1,
+        )
+        self.node_type = "A" if len(self.detected) == self.f else "B"
+
+    # ------------------------------------------------------------------
+    # Phase 3: decide and disseminate
+    # ------------------------------------------------------------------
+    def _start_phase3(self, ctx: Context) -> None:
+        self._flood3 = FloodInstance(
+            self.graph,
+            self.me,
+            phase=self.PHASE3,
+            default_payload=None,
+            validator=self._valid_decision,
+        )
+        if self.node_type == "B":
+            decision = majority(sorted(self.reliable_values.values()))
+            self._output = decision
+            self._flood3.initiate(ctx, DecisionPayload(decision))
+
+    def _fault_free(self, path: PathTuple) -> bool:
+        """No *detected* faulty node appears as an internal node."""
+        return not any(z in self.detected for z in path[1:-1])
+
+    def _decide_type_a(self) -> None:
+        assert self._flood3 is not None and self._flood1 is not None
+        # Adopt a decision that arrived from a non-faulty origin over a
+        # fault-free path.  Only type-B nodes flood decisions, so an
+        # honest origin's decision is an honest type-B decision.
+        decisions = sorted(
+            payload.value
+            for path, payload in self._flood3.delivered.items()
+            if len(path) >= 2
+            and isinstance(payload, DecisionPayload)
+            and path[0] not in self.detected
+            and self._fault_free(path)
+        )
+        if decisions:
+            self._output = decisions[0]
+            return
+        # No type-B node exists: reconstruct every non-faulty node's input
+        # over fault-free paths (knowing the fault set makes Observation
+        # B.1 usable directly) and take the majority.
+        inputs: Dict[Hashable, int] = {}
+        for path, payload in sorted(self._flood1.delivered.items(), key=repr):
+            origin = path[0]
+            if origin in self.detected or origin in inputs:
+                continue
+            if not isinstance(payload, ValuePayload):
+                continue
+            if self._fault_free(path):
+                inputs[origin] = payload.value
+        self._output = majority([inputs[u] for u in sorted(inputs, key=repr)])
+
+
+def algorithm2_factory(graph: Graph, f: int):
+    """Honest-protocol factory for the runner: ``(node, input) → protocol``."""
+
+    def build(node: Hashable, input_value: int) -> Algorithm2Protocol:
+        return Algorithm2Protocol(graph, node, f, input_value)
+
+    return build

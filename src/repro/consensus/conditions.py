@@ -1,0 +1,180 @@
+"""Feasibility conditions: Theorems 4.1/5.1, 6.1, and the classical bound.
+
+The paper's headline results are *characterizations* — graph-theoretic
+conditions that are simultaneously necessary and sufficient:
+
+* **Local broadcast** (Theorems 4.1 + 5.1): min degree ≥ ``2f`` and
+  vertex connectivity ≥ ``⌊3f/2⌋ + 1``.
+* **Point-to-point** (Dolev '82, quoted in Section 1): ``n ≥ 3f + 1``
+  and vertex connectivity ≥ ``2f + 1``.
+* **Hybrid, ≤ t equivocating faults** (Theorem 6.1): connectivity ≥
+  ``⌊3(f − t)/2⌋ + 2t + 1``; if ``t = 0`` min degree ≥ ``2f``; if
+  ``t > 0`` every set ``S`` with ``0 < |S| ≤ t`` has ≥ ``2f + 1``
+  neighbors.
+
+Each checker returns a :class:`ConditionReport` listing every clause with
+its required and measured value, so experiments can show *which*
+condition fails and by how much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..graphs import (
+    Graph,
+    min_set_neighborhood,
+    vertex_connectivity,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Clause:
+    """One atomic requirement: a measured quantity vs its threshold."""
+
+    name: str
+    required: int
+    measured: int
+
+    @property
+    def holds(self) -> bool:
+        return self.measured >= self.required
+
+    @property
+    def margin(self) -> int:
+        return self.measured - self.required
+
+    def __str__(self) -> str:
+        verdict = "ok" if self.holds else "FAIL"
+        return f"{self.name}: need >= {self.required}, have {self.measured} [{verdict}]"
+
+
+@dataclass(frozen=True, slots=True)
+class ConditionReport:
+    """The outcome of a feasibility check on ``(G, f[, t])``."""
+
+    model: str
+    f: int
+    t: Optional[int]
+    clauses: Tuple[Clause, ...]
+
+    @property
+    def feasible(self) -> bool:
+        return all(c.holds for c in self.clauses)
+
+    def failing(self) -> List[Clause]:
+        return [c for c in self.clauses if not c.holds]
+
+    def __str__(self) -> str:
+        t_part = "" if self.t is None else f", t={self.t}"
+        head = f"{self.model} (f={self.f}{t_part}): " + (
+            "FEASIBLE" if self.feasible else "infeasible"
+        )
+        return head + "".join(f"\n  {c}" for c in self.clauses)
+
+
+def local_broadcast_threshold_connectivity(f: int) -> int:
+    """The tight connectivity bound ``⌊3f/2⌋ + 1`` of Theorems 4.1/5.1."""
+    return (3 * f) // 2 + 1
+
+
+def hybrid_threshold_connectivity(f: int, t: int) -> int:
+    """Theorem 6.1(i): ``⌊3(f − t)/2⌋ + 2t + 1``.
+
+    Interpolates between the local-broadcast bound at ``t = 0`` and the
+    point-to-point bound ``2f + 1`` at ``t = f`` — the paper's
+    quantification of the price of equivocation.
+    """
+    if not 0 <= t <= f:
+        raise ValueError("need 0 <= t <= f")
+    return (3 * (f - t)) // 2 + 2 * t + 1
+
+
+def check_local_broadcast(graph: Graph, f: int) -> ConditionReport:
+    """Theorem 4.1/5.1: consensus under local broadcast iff these hold."""
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    clauses = (
+        Clause("n > f (trivial solvability bound)", f + 1, graph.n),
+        Clause("minimum degree >= 2f", 2 * f, graph.min_degree()),
+        Clause(
+            "connectivity >= floor(3f/2) + 1",
+            local_broadcast_threshold_connectivity(f),
+            vertex_connectivity(graph),
+        ),
+    )
+    return ConditionReport("local-broadcast", f, None, clauses)
+
+
+def check_point_to_point(graph: Graph, f: int) -> ConditionReport:
+    """The classical Dolev bound: ``n ≥ 3f + 1`` and κ ≥ ``2f + 1``."""
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    clauses = (
+        Clause("n >= 3f + 1", 3 * f + 1, graph.n),
+        Clause("connectivity >= 2f + 1", 2 * f + 1, vertex_connectivity(graph)),
+    )
+    return ConditionReport("point-to-point", f, None, clauses)
+
+
+def check_hybrid(graph: Graph, f: int, t: int) -> ConditionReport:
+    """Theorem 6.1: consensus under the hybrid model iff these hold."""
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    if not 0 <= t <= f:
+        raise ValueError("need 0 <= t <= f")
+    clauses = [
+        Clause("n > f (trivial solvability bound)", f + 1, graph.n),
+        Clause(
+            "connectivity >= floor(3(f-t)/2) + 2t + 1",
+            hybrid_threshold_connectivity(f, t),
+            vertex_connectivity(graph),
+        ),
+    ]
+    if t == 0:
+        clauses.append(Clause("minimum degree >= 2f (t = 0)", 2 * f, graph.min_degree()))
+    else:
+        if graph.n > 0:
+            measured, _ = min_set_neighborhood(graph, t)
+        else:
+            measured = 0
+        clauses.append(
+            Clause(
+                "every S with 0 < |S| <= t has >= 2f + 1 neighbors",
+                2 * f + 1,
+                measured,
+            )
+        )
+    return ConditionReport("hybrid", f, t, tuple(clauses))
+
+
+def max_f_local_broadcast(graph: Graph) -> int:
+    """The largest ``f`` for which Theorem 5.1 declares ``G`` feasible."""
+    f = 0
+    while check_local_broadcast(graph, f + 1).feasible:
+        f += 1
+    return f
+
+
+def max_f_point_to_point(graph: Graph) -> int:
+    """The largest ``f`` satisfying the classical point-to-point bound."""
+    f = 0
+    while check_point_to_point(graph, f + 1).feasible:
+        f += 1
+    return f
+
+
+def max_f_hybrid(graph: Graph, t: int) -> int:
+    """The largest ``f ≥ t`` for which Theorem 6.1 declares feasibility.
+
+    Returns ``t - 1``-style degenerate answers as ``None``-free ints:
+    if even ``f = t`` is infeasible the result is ``t - 1`` meaning "no
+    valid f for this t" (callers treat values below ``t`` as infeasible).
+    """
+    f = max(t, 0)
+    if not check_hybrid(graph, f, t).feasible:
+        return t - 1
+    while check_hybrid(graph, f + 1, t).feasible:
+        f += 1
+    return f

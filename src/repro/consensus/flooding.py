@@ -1,0 +1,174 @@
+"""Path-annotated flooding with the paper's acceptance rules (i)–(iv).
+
+Section 5.1 describes flooding of a value ``γ_v``: the originator
+broadcasts ``(γ_v, ⊥)``; a node ``v`` receiving ``(b, Π)`` from neighbor
+``u``
+
+  (i)   discards it if ``Π - u`` is not a path of ``G``;
+  (ii)  discards it if some ``(b', Π)`` was already received from ``u``
+        this phase — under local broadcast every neighbor of ``u`` sees
+        the same transmissions in the same order, so all correct
+        neighbors lock in the *same* first message per ``(u, Π)`` slot:
+        this is what makes equivocation impossible;
+  (iii) discards it if ``v`` already appears on ``Π`` (bounds flooding
+        to ``n`` rounds);
+  (iv)  otherwise **accepts** it — ``v`` has received ``b`` along the
+        path ``Π - u`` — and forwards ``(b, Π - u)``.
+
+A missing initiation from a neighbor is substituted with the default
+message ``(1, ⊥)``, so even a silent faulty node effectively floods a
+value.
+
+This module packages those rules as :class:`FloodInstance` — one
+per-node, per-phase state machine used by Algorithms 1, 2 and 3 (the
+payload is a value for step (a) floods, a report bundle or a decision for
+Algorithm 2's later phases).  Delivered values are recorded **per full
+path ending at the local node**: accepting ``(b, Π)`` from ``u`` records
+``delivered[Π + (u, me)] = b``, which is exactly the shape steps (b) and
+(c) consume ("the value received from ``u`` along ``P_uv``").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from ..graphs import Graph, is_path
+from ..net.messages import FloodMessage, Payload
+from ..net.node import Context
+
+PathTuple = Tuple[Hashable, ...]
+Validator = Callable[[Payload, PathTuple], bool]
+"""Optional payload filter: receives (payload, full path origin..sender)."""
+
+
+class FloodInstance:
+    """Per-node state for one flooding phase.
+
+    Lifecycle, driven by the owning protocol once per round:
+
+    1. round 1 of the phase — call :meth:`initiate` (and nothing else:
+       the inbox cannot contain this phase's traffic yet);
+    2. every later round — call :meth:`process_round`; on the first of
+       those rounds the default-message substitution for silent
+       neighbors runs automatically.
+
+    ``delivered`` maps each full path ``(origin, ..., me)`` to the
+    payload received along it.  The trivial own-path ``(me,)`` is filled
+    by :meth:`initiate` ("node v is deemed to have received its own γ_v
+    along path P_vv").
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        me: Hashable,
+        phase: Hashable,
+        default_payload: Optional[Payload] = None,
+        validator: Optional[Validator] = None,
+        enable_rule_ii: bool = True,
+    ):
+        self.graph = graph
+        self.me = me
+        self.phase = phase
+        self.default_payload = default_payload
+        self.validator = validator
+        # Ablation hook: rule (ii) is the equivocation defense; the
+        # ablation experiments disable it to show it is load-bearing.
+        self.enable_rule_ii = enable_rule_ii
+        self.delivered: Dict[PathTuple, Payload] = {}
+        self._seen: set[tuple[Hashable, PathTuple]] = set()
+        self._defaults_applied = False
+        self._initiated = False
+
+    # ------------------------------------------------------------------
+    def initiate(self, ctx: Context, payload: Payload) -> None:
+        """Round 1 of the phase: broadcast ``(payload, ⊥)``."""
+        self._initiated = True
+        self.delivered[(self.me,)] = payload
+        ctx.broadcast(FloodMessage(self.phase, payload, ()))
+
+    def process_round(self, ctx: Context) -> int:
+        """Apply rules (i)–(iv) to this round's inbox; returns #accepted.
+
+        Must be called on every round of the phase after the initiation
+        round.  The first call also performs the default-message
+        substitution: any neighbor whose initiation ``(·, ⊥)`` is absent
+        from this inbox is treated as having sent the default payload.
+        """
+        accepted = 0
+        for sender, message in ctx.inbox:
+            if not isinstance(message, FloodMessage) or message.phase != self.phase:
+                continue
+            if self._accept(ctx, sender, message):
+                accepted += 1
+        if not self._defaults_applied:
+            self._defaults_applied = True
+            if self.default_payload is not None:
+                # Any neighbor whose valid initiation is absent is read as
+                # having flooded the default; rule (ii) rejects the
+                # substitute wherever a real initiation already claimed
+                # the (neighbor, ⊥) slot.
+                for nbr in sorted(self.graph.neighbors(self.me), key=repr):
+                    substitute = FloodMessage(self.phase, self.default_payload, ())
+                    if self._accept(ctx, nbr, substitute):
+                        accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------------
+    def _accept(self, ctx: Context, sender: Hashable, message: FloodMessage) -> bool:
+        """Rules (i)–(iv) for one received message.  True iff accepted.
+
+        Validity (rules (i), (iii), payload checks) runs *before* the
+        duplicate rule (ii) marks the ``(sender, Π)`` slot: malformed
+        traffic must not burn a slot, or a garbage "initiation" could
+        suppress the default-message substitution that Lemma 5.3 needs.
+        All neighbors of a sender hear the same transmissions in the same
+        order, so this decision is identical everywhere.
+        """
+        extended = message.extended_by(sender)  # Π - u
+        # Rule (i): Π - u must exist in G.
+        if not is_path(self.graph, extended):
+            return False
+        # Rule (iii): Π must not already contain me.
+        if self.me in message.path:
+            return False
+        # Optional payload validation (e.g. report bundles must originate
+        # at their claimed reporter).
+        if self.validator is not None and not self.validator(message.payload, extended):
+            return False
+        # Rule (ii): only the first well-formed message per (sender, Π)
+        # slot is ever accepted — equivocation prevention.
+        key = (sender, message.path)
+        if self.enable_rule_ii:
+            if key in self._seen:
+                return False
+            self._seen.add(key)
+        # Rule (iv): accept along Π - u (recorded as the uv-path ending
+        # here) and forward (b, Π - u).
+        self.delivered[extended + (self.me,)] = message.payload
+        ctx.broadcast(FloodMessage(self.phase, message.payload, extended))
+        return True
+
+    # ------------------------------------------------------------------
+    # Read-side helpers used by steps (b)/(c) and Definition C.1
+    # ------------------------------------------------------------------
+    def value_along(self, path: PathTuple) -> Optional[Payload]:
+        """The payload delivered along a specific path ending here."""
+        return self.delivered.get(path)
+
+    def paths_from(self, origin: Hashable) -> Dict[PathTuple, Payload]:
+        """All delivered paths whose *origin* (first node) is ``origin``."""
+        return {
+            p: payload for p, payload in self.delivered.items() if p[0] == origin
+        }
+
+    def paths_with(self) -> Dict[PathTuple, Payload]:
+        """Every delivered (path, payload) pair (copy)."""
+        return dict(self.delivered)
+
+
+def flood_rounds(graph: Graph) -> int:
+    """Rounds a flood needs: paths have at most n nodes (rule (iii)), so
+    every delivery lands within n - 1 forwarding hops; we budget n per
+    the paper's statement that "flooding will end after n rounds"."""
+    return graph.n

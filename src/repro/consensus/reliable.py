@@ -1,0 +1,262 @@
+"""Definition C.1 — reliable receipt — and the phase-2 claim machinery.
+
+Appendix C builds the efficient algorithm on a single tool: node ``v``
+**reliably receives** a message flooded by ``u`` if (1) ``u = v``,
+(2) ``v`` is a neighbor of ``u``, or (3) ``v`` receives it identically on
+at least ``f + 1`` node-disjoint ``uv``-paths.
+
+Two consequences (proved in the paper, re-proved empirically in our
+tests):
+
+* a message *sent* by a **faulty** node is reliably received by everyone
+  (Lemma C.2) — its ≥ 2f neighbors all heard it identically, and at most
+  ``f − 1`` other faults can sit on the 2f disjoint forwarding paths;
+* a **false** claim about an honest node's transmissions can never be
+  reliably received — every disjoint evidence path for a fabrication
+  must contain its own faulty internal node, and there are at most ``f``
+  faults in total.
+
+Phase 2 of Algorithm 2 floods, per reporter, a bundle of the complete
+*timed* transcripts the reporter heard from each neighbor in phase 1.
+(The paper floods "all the messages it hears from its neighbors";
+bundling them into one flood per reporter is a framing choice that
+preserves the adversary's power — a Byzantine forwarder can alter any
+subset of a bundle — while keeping rule (ii)'s one-message-per-slot
+shape.)  Transcripts carry the send round of every message because
+honest flooding is *scheduled*: on a path ``w, x_1, …``, an honest
+``x_k`` forwards ``w``'s value at round ``k + 1`` exactly.  Fault
+localization therefore checks the schedule slot, which closes a timing
+attack: a faulty node that forwards correct bits *late* (visible to
+reporters, useless to the flood) is still the first detected deviator
+on its path, so honest downstream nodes are never blamed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from ..graphs import Graph, has_disjoint_path_packing, max_disjoint_paths
+from ..net.messages import FloodMessage, ValuePayload
+
+PathTuple = Tuple[Hashable, ...]
+TimedMessage = Tuple[int, object]  # (send round, message)
+Transcript = Tuple[TimedMessage, ...]  # one node's transmissions, in order
+
+
+@dataclass(frozen=True, slots=True)
+class ReportBundle:
+    """Phase-2 payload: ``reporter``'s view of each neighbor's phase-1
+    transcript.  ``entries`` is sorted by subject for canonical equality."""
+
+    reporter: Hashable
+    entries: Tuple[Tuple[Hashable, Transcript], ...]
+
+    def transcript_of(self, subject: Hashable) -> Optional[Transcript]:
+        for s, transcript in self.entries:
+            if s == subject:
+                return transcript
+        return None
+
+    @classmethod
+    def build(
+        cls, reporter: Hashable, transcripts: Dict[Hashable, List[TimedMessage]]
+    ) -> "ReportBundle":
+        entries = tuple(
+            (subject, tuple(messages))
+            for subject, messages in sorted(
+                transcripts.items(), key=lambda kv: repr(kv[0])
+            )
+        )
+        return cls(reporter, entries)
+
+
+def reliable_value(
+    graph: Graph,
+    f: int,
+    me: Hashable,
+    delivered: Dict[PathTuple, object],
+    origin: Hashable,
+) -> Optional[int]:
+    """Definition C.1 applied to a phase-1 value flood.
+
+    ``delivered`` is the local :class:`~repro.consensus.flooding
+    .FloodInstance` record (full path ending at ``me`` → payload).
+    Returns the reliably received binary value from ``origin``, or
+    ``None``.  Direct receipt (self / neighbor) takes precedence; for
+    case (3) the value must arrive identically on ``f + 1`` internally
+    node-disjoint ``origin→me`` paths.
+    """
+    if origin == me:
+        own = delivered.get((me,))
+        return own.value if isinstance(own, ValuePayload) else None
+    direct = delivered.get((origin, me))
+    if isinstance(direct, ValuePayload):
+        return direct.value
+    for delta in (0, 1):
+        paths = [
+            p
+            for p, payload in delivered.items()
+            if len(p) >= 2
+            and p[0] == origin
+            and isinstance(payload, ValuePayload)
+            and payload.value == delta
+        ]
+        if has_disjoint_path_packing(paths, f + 1, mode="uv"):
+            return delta
+    return None
+
+
+class ClaimIndex:
+    """Reliable knowledge about *other nodes' transmissions*, from bundles.
+
+    Built once per node after phase 2.  Evidence for a claim about
+    subject ``z`` is a composite simple path ``(z, reporter, …, me)``:
+    the bundle of ``reporter`` (a neighbor of ``z``) carried ``z``'s
+    claimed transcript to ``me`` along the flood path ``reporter … me``.
+    Reliability = direct observation (``z`` adjacent or ``z == me``) or
+    ``f + 1`` internally node-disjoint composite paths agreeing.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        f: int,
+        me: Hashable,
+        bundle_deliveries: Dict[PathTuple, ReportBundle],
+        own_transcripts: Dict[Hashable, Transcript],
+        own_sent: Transcript = (),
+    ):
+        self.graph = graph
+        self.f = f
+        self.me = me
+        self.own_transcripts = dict(own_transcripts)
+        self.own_sent = own_sent
+        # transcript evidence: subject -> claimed transcript -> [composite paths]
+        self._transcript_paths: Dict[Hashable, Dict[Transcript, List[PathTuple]]] = {}
+        for path, bundle in bundle_deliveries.items():
+            reporter = path[0]
+            if bundle.reporter != reporter:
+                continue  # malformed: claimed reporter must be the flood origin
+            for subject, transcript in bundle.entries:
+                if subject not in graph.nodes:
+                    continue
+                if reporter not in graph.neighbors(subject):
+                    continue  # a reporter can only attest about its neighbors
+                if subject in path:
+                    continue  # composite path (subject,)+path must stay simple
+                composite = (subject,) + path
+                self._transcript_paths.setdefault(subject, {}).setdefault(
+                    transcript, []
+                ).append(composite)
+        self._reliable_transcript_cache: Dict[Hashable, Optional[Transcript]] = {}
+        self._claim_cache: Dict[Tuple[Hashable, object], bool] = {}
+
+    # ------------------------------------------------------------------
+    def reliable_transcript(self, subject: Hashable) -> Optional[Transcript]:
+        """The complete timed phase-1 transcript of ``subject`` if
+        reliably known, else ``None``.  Unique when it exists (a second
+        candidate would need f + 1 disjoint fabricated evidence paths)."""
+        if subject == self.me:
+            return self.own_sent
+        if subject in self._reliable_transcript_cache:
+            return self._reliable_transcript_cache[subject]
+        result: Optional[Transcript] = None
+        if subject in self.graph.neighbors(self.me):
+            result = self.own_transcripts.get(subject, ())
+        else:
+            for transcript, paths in self._transcript_paths.get(subject, {}).items():
+                if has_disjoint_path_packing(paths, self.f + 1, mode="uv"):
+                    result = transcript
+                    break
+        self._reliable_transcript_cache[subject] = result
+        return result
+
+    def reliably_transmitted(self, subject: Hashable, message: object) -> bool:
+        """Did ``me`` reliably learn that ``subject`` transmitted
+        ``message`` at *some* round?
+
+        Direct observation wins; otherwise ``f + 1`` disjoint composite
+        paths whose claimed transcripts *contain* the message suffice
+        (the claims may disagree elsewhere — containment is per-message).
+        """
+        key = (subject, message)
+        if key in self._claim_cache:
+            return self._claim_cache[key]
+        if subject == self.me:
+            result = any(m == message for _, m in self.own_sent)
+        elif subject in self.graph.neighbors(self.me):
+            result = any(
+                m == message for _, m in self.own_transcripts.get(subject, ())
+            )
+        else:
+            paths = [
+                p
+                for transcript, plist in self._transcript_paths.get(subject, {}).items()
+                if any(m == message for _, m in transcript)
+                for p in plist
+            ]
+            result = has_disjoint_path_packing(paths, self.f + 1, mode="uv")
+        self._claim_cache[key] = result
+        return result
+
+
+def detect_faults(
+    graph: Graph,
+    f: int,
+    me: Hashable,
+    reliable_values: Dict[Hashable, int],
+    claims: ClaimIndex,
+    phase1_tag: Hashable,
+    first_round: int = 1,
+) -> set[Hashable]:
+    """Phase-2 fault localization (Algorithm 2, phase 2).
+
+    For every origin ``w`` whose value ``b`` was reliably received and
+    every other node ``u``, walk ``2f`` node-disjoint ``wu``-paths; along
+    each path, the first internal node ``z`` that *provably misbehaved on
+    this path's slot* is marked faulty.  Misbehavior of ``z`` at position
+    ``idx`` (prefix ``Π = P[:idx]``) is either
+
+    * a reliably received claim that ``z`` transmitted ``(b̄, Π)`` at any
+      time (the tampering case of the paper's pseudocode), or
+    * a reliably known complete transcript of ``z`` that omits
+      transmitting ``(b, Π)`` at its schedule round ``first_round + idx``
+      (the silent-drop/late-forward case; the paper's "tampers the
+      message" read operationally — Lemma C.2 makes a faulty node's full
+      transcript reliably known, so omissions are visible).
+
+    Soundness: the first deviator on a path is necessarily faulty —
+    honest nodes forward exactly what they accept on schedule, false
+    claims about honest nodes are never reliably received, and honest
+    omissions occur only downstream of an earlier (faulty) deviator,
+    which is detected first and shadows them.
+    """
+    detected: set[Hashable] = set()
+    for w in sorted(reliable_values, key=repr):
+        b = reliable_values[w]
+        wrong = ValuePayload(1 - b)
+        right = ValuePayload(b)
+        for u in sorted(graph.nodes, key=repr):
+            if u == w:
+                continue
+            _count, paths = max_disjoint_paths(graph, w, u, want_paths=True)
+            for path in sorted(paths, key=repr)[: 2 * f]:
+                for idx in range(1, len(path) - 1):
+                    z = path[idx]
+                    if z == me:
+                        continue  # a node never suspects itself
+                    prefix = path[:idx]
+                    tampered = FloodMessage(phase1_tag, wrong, prefix)
+                    honest_fwd = FloodMessage(phase1_tag, right, prefix)
+                    schedule_round = first_round + idx
+                    suspicious = claims.reliably_transmitted(z, tampered)
+                    if not suspicious:
+                        transcript = claims.reliable_transcript(z)
+                        suspicious = transcript is not None and (
+                            (schedule_round, honest_fwd) not in transcript
+                        )
+                    if suspicious:
+                        detected.add(z)
+                        break  # only the first such node on this path
+    return detected

@@ -1,0 +1,144 @@
+"""One-call experiment runner: wire up a graph, inputs, faults, adversary.
+
+Every correctness experiment in the library is phrased as: *run protocol
+P on graph G with inputs I, faulty set X behaving as adversary A, under
+channel model M; then check agreement / validity / termination over the
+honest nodes*.  :func:`run_consensus` does exactly that and returns a
+structured verdict, so tests and benchmarks stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional
+
+from ..graphs import Graph
+from ..net.adversary import Adversary, FaultSpec, HonestFactory
+from ..net.channels import ChannelModel, local_broadcast_model
+from ..net.node import Protocol
+from ..net.simulator import SimulationError, SynchronousNetwork
+from ..net.trace import Trace
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    """Outcome of one run, evaluated over the honest nodes only."""
+
+    outputs: Dict[Hashable, Optional[int]]
+    honest: FrozenSet[Hashable]
+    faulty: FrozenSet[Hashable]
+    honest_inputs: Dict[Hashable, int]
+    rounds: int
+    transmissions: int
+    deliveries: int
+    trace: Trace = field(repr=False)
+
+    @property
+    def honest_outputs(self) -> Dict[Hashable, Optional[int]]:
+        return {v: self.outputs[v] for v in self.honest}
+
+    @property
+    def terminated(self) -> bool:
+        """Every honest node decided (output is not None)."""
+        return all(self.outputs[v] is not None for v in self.honest)
+
+    @property
+    def agreement(self) -> bool:
+        """All honest outputs exist and are equal."""
+        values = {self.outputs[v] for v in self.honest}
+        return self.terminated and len(values) == 1
+
+    @property
+    def validity(self) -> bool:
+        """Every honest output is the input of some honest node."""
+        legal = set(self.honest_inputs.values())
+        return self.terminated and all(
+            self.outputs[v] in legal for v in self.honest
+        )
+
+    @property
+    def consensus(self) -> bool:
+        return self.terminated and self.agreement and self.validity
+
+    @property
+    def decision(self) -> Optional[int]:
+        """The common honest output, when agreement holds."""
+        if not self.agreement:
+            return None
+        return next(iter({self.outputs[v] for v in self.honest}))
+
+
+def run_consensus(
+    graph: Graph,
+    honest_factory: HonestFactory,
+    inputs: Mapping[Hashable, int],
+    f: int,
+    faulty: Iterable[Hashable] = (),
+    adversary: Optional[Adversary] = None,
+    channel: Optional[ChannelModel] = None,
+    max_rounds: Optional[int] = None,
+) -> ConsensusResult:
+    """Run one consensus execution and evaluate the three properties.
+
+    ``honest_factory(node, input_value)`` builds the honest protocol;
+    faulty nodes get ``adversary.build(...)`` instead.  ``max_rounds``
+    defaults to the honest protocols' own ``total_rounds`` budget (every
+    protocol in this library precomputes its round count — the paper's
+    algorithms are all fixed-round).
+    """
+    faulty_set = frozenset(faulty)
+    unknown = faulty_set - graph.nodes
+    if unknown:
+        raise ValueError(f"faulty nodes not in graph: {sorted(unknown, key=repr)}")
+    if len(faulty_set) > f:
+        raise ValueError(f"|faulty| = {len(faulty_set)} exceeds f = {f}")
+    if faulty_set and adversary is None:
+        raise ValueError("an adversary is required when faulty nodes exist")
+    missing_inputs = graph.nodes - set(inputs)
+    if missing_inputs:
+        raise ValueError(f"missing inputs for {sorted(missing_inputs, key=repr)}")
+
+    channel = channel if channel is not None else local_broadcast_model()
+    honest = frozenset(graph.nodes - faulty_set)
+
+    protocols: Dict[Hashable, Protocol] = {}
+    for node in sorted(graph.nodes, key=repr):
+        if node in faulty_set:
+            assert adversary is not None
+            spec = FaultSpec(
+                node=node,
+                graph=graph,
+                channel=channel,
+                input_value=inputs[node],
+                f=f,
+                faulty=faulty_set,
+                honest_factory=honest_factory,
+            )
+            protocols[node] = adversary.build(spec)
+        else:
+            protocols[node] = honest_factory(node, inputs[node])
+
+    if max_rounds is None:
+        budgets = [
+            getattr(protocols[v], "total_rounds", None) for v in honest
+        ]
+        known = [b for b in budgets if isinstance(b, int)]
+        if not known:
+            raise ValueError("max_rounds required: protocols expose no budget")
+        max_rounds = max(known)
+
+    net = SynchronousNetwork(graph, protocols, channel)
+    try:
+        net.run_until_decided(max_rounds, honest=set(honest))
+    except SimulationError:
+        pass  # non-termination is reported through the result, not raised
+    return ConsensusResult(
+        outputs=net.outputs(),
+        honest=honest,
+        faulty=faulty_set,
+        honest_inputs={v: inputs[v] for v in honest},
+        rounds=net.trace.rounds,
+        transmissions=net.trace.transmission_count,
+        deliveries=net.trace.delivery_count,
+        trace=net.trace,
+    )

@@ -1,0 +1,106 @@
+"""Graph substrate: undirected graphs, connectivity, paths, and families.
+
+This subpackage is self-contained (no third-party dependencies) and
+provides everything the consensus layer needs: Menger-style disjoint
+path computations, vertex connectivity, set neighborhoods, simple-path
+enumeration, packing decisions, and the graph families used across the
+paper's figures and our experiments.
+"""
+
+from .connectivity import (
+    disjoint_paths_excluding,
+    is_k_connected,
+    local_connectivity,
+    max_disjoint_paths,
+    max_set_disjoint_paths,
+    minimum_vertex_cut,
+    vertex_connectivity,
+)
+from .cuts import (
+    cut_partition,
+    every_small_set_has_neighbors,
+    find_cut_partition,
+    min_set_neighborhood,
+    neighbors_of_set,
+    split_into_parts,
+)
+from .families import (
+    circulant_graph,
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    degree_deficient_graph,
+    grid_graph,
+    harary_graph,
+    hybrid_neighborhood_deficient_graph,
+    low_connectivity_graph,
+    paper_figure_1a,
+    paper_figure_1b,
+    path_graph,
+    petersen_graph,
+    random_connected_graph,
+    star_graph,
+    tight_local_broadcast_graph,
+    wheel_graph,
+)
+from .graph import Graph, GraphError, Node
+from .paths import (
+    all_simple_paths,
+    concat_path,
+    count_simple_paths,
+    has_disjoint_path_packing,
+    internal_nodes,
+    internally_disjoint,
+    is_fault_free,
+    is_path,
+    max_disjoint_path_packing,
+    path_excludes,
+    set_paths_disjoint,
+)
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "Node",
+    "all_simple_paths",
+    "circulant_graph",
+    "complete_bipartite",
+    "complete_graph",
+    "concat_path",
+    "count_simple_paths",
+    "cut_partition",
+    "cycle_graph",
+    "degree_deficient_graph",
+    "disjoint_paths_excluding",
+    "every_small_set_has_neighbors",
+    "find_cut_partition",
+    "grid_graph",
+    "harary_graph",
+    "has_disjoint_path_packing",
+    "hybrid_neighborhood_deficient_graph",
+    "internal_nodes",
+    "internally_disjoint",
+    "is_fault_free",
+    "is_k_connected",
+    "is_path",
+    "local_connectivity",
+    "low_connectivity_graph",
+    "max_disjoint_path_packing",
+    "max_disjoint_paths",
+    "max_set_disjoint_paths",
+    "min_set_neighborhood",
+    "minimum_vertex_cut",
+    "neighbors_of_set",
+    "paper_figure_1a",
+    "paper_figure_1b",
+    "path_excludes",
+    "path_graph",
+    "petersen_graph",
+    "random_connected_graph",
+    "set_paths_disjoint",
+    "split_into_parts",
+    "star_graph",
+    "tight_local_broadcast_graph",
+    "vertex_connectivity",
+    "wheel_graph",
+]

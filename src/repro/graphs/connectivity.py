@@ -1,0 +1,347 @@
+"""Vertex connectivity and node-disjoint path machinery (Menger's theorem).
+
+Section 3 of the paper leans on two standard results for ``k``-connected
+graphs (West, *Introduction to Graph Theory*):
+
+* **Menger:** ``G`` is ``k``-connected iff every pair ``u, v`` is joined by
+  ``k`` internally node-disjoint ``uv``-paths.
+* **Fan lemma:** if ``G`` is ``k``-connected then for any node ``v`` and any
+  set ``U`` of at least ``k`` nodes there are ``k`` node-disjoint
+  ``Uv``-paths (pairwise sharing only the endpoint ``v``).
+
+Both are realized with a unit-capacity max-flow on the standard
+*node-split* transformation: every vertex ``x`` becomes an arc
+``x_in → x_out`` of capacity one, so integral flow paths correspond
+exactly to internally node-disjoint paths.  Everything is implemented
+from scratch — the test suite cross-validates against networkx, but the
+library itself has no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+from itertools import combinations
+
+from .graph import Graph, GraphError, Node
+
+# Flow-network vertices are tagged tuples so user node labels never collide
+# with the split copies: ("in", v) / ("out", v) plus dedicated terminals.
+_SOURCE = ("source", None)
+_SINK = ("sink", None)
+
+
+class _FlowNetwork:
+    """A tiny capacitated digraph with Edmonds–Karp max-flow.
+
+    Unit through-capacities keep augmenting-path counts bounded by ``n``,
+    so BFS augmentation is entirely adequate at library scale.
+    """
+
+    def __init__(self) -> None:
+        self.capacity: dict[tuple, dict[tuple, int]] = {}
+        self._adj: dict[tuple, set[tuple]] = {}
+
+    def add_arc(self, u: tuple, v: tuple, cap: int) -> None:
+        self.capacity.setdefault(u, {})[v] = cap
+        self.capacity.setdefault(v, {})
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def remove_arcs_into(self, v: tuple, keep_from: tuple) -> None:
+        """Delete all arcs into ``v`` except the one from ``keep_from``."""
+        for u in list(self._adj.get(v, ())):
+            if u != keep_from and v in self.capacity.get(u, {}):
+                del self.capacity[u][v]
+                # Keep adjacency for residual traversal simplicity; a zero
+                # capacity arc is equivalent to no arc.
+
+    def max_flow(self) -> tuple[int, dict[tuple, dict[tuple, int]]]:
+        flow: dict[tuple, dict[tuple, int]] = {u: {} for u in self._adj}
+
+        def residual(a: tuple, b: tuple) -> int:
+            return self.capacity.get(a, {}).get(b, 0) - flow[a].get(b, 0)
+
+        total = 0
+        while True:
+            parent: dict[tuple, tuple] = {_SOURCE: _SOURCE}
+            queue = deque([_SOURCE])
+            while queue:
+                u = queue.popleft()
+                if u == _SINK:
+                    break
+                for v in self._adj.get(u, ()):
+                    if v not in parent and residual(u, v) > 0:
+                        parent[v] = u
+                        queue.append(v)
+            if _SINK not in parent:
+                return total, flow
+            path = [_SINK]
+            while path[-1] != _SOURCE:
+                path.append(parent[path[-1]])
+            path.reverse()
+            bottleneck = min(
+                residual(path[i], path[i + 1]) for i in range(len(path) - 1)
+            )
+            for i in range(len(path) - 1):
+                u, v = path[i], path[i + 1]
+                flow[u][v] = flow[u].get(v, 0) + bottleneck
+                flow[v][u] = flow[v].get(u, 0) - bottleneck
+            total += bottleneck
+
+    def residual_reachable(self, flow: dict[tuple, dict[tuple, int]]) -> set[tuple]:
+        """Vertices reachable from the source in the residual network."""
+        reach = {_SOURCE}
+        queue = deque([_SOURCE])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj.get(u, ()):
+                if v not in reach and (
+                    self.capacity.get(u, {}).get(v, 0) - flow[u].get(v, 0) > 0
+                ):
+                    reach.add(v)
+                    queue.append(v)
+        return reach
+
+
+def _build_split_network(
+    graph: Graph,
+    sources: Iterable[Node],
+    sink: Node,
+    exclude_internal: Iterable[Node] = (),
+    edge_cap: int | None = None,
+) -> _FlowNetwork:
+    """Unit-capacity node-split flow network for disjoint-path queries.
+
+    ``sources`` may contain one node (Menger) or many (fan lemma / the
+    algorithm's ``A_v v``-path searches).  Nodes in ``exclude_internal``
+    may not appear as *internal* path nodes; if such a node is also a
+    source it remains usable as a path endpoint only (its only incoming
+    arc is from the super-source), mirroring the paper's "path excludes
+    F but endpoints may belong to F" convention.
+    """
+    source_set = set(sources)
+    excluded = set(exclude_internal)
+    big = graph.n + 1  # effectively infinite for unit-capacity networks
+    if edge_cap is None:
+        edge_cap = 1
+    net = _FlowNetwork()
+    for v in graph.nodes:
+        if v in source_set or v == sink:
+            through = big
+        elif v in excluded:
+            through = 0
+        else:
+            through = 1
+        net.add_arc(("in", v), ("out", v), through)
+    for u, v in graph.edges():
+        if u != sink:
+            net.add_arc(("out", u), ("in", v), edge_cap)
+        if v != sink:
+            net.add_arc(("out", v), ("in", u), edge_cap)
+    for s in source_set:
+        net.add_arc(_SOURCE, ("in", s), big)
+    net.add_arc(("out", sink), _SINK, big)
+    # Excluded sources are endpoint-only: forbid entering them mid-path.
+    for s in source_set & excluded:
+        net.remove_arcs_into(("in", s), keep_from=_SOURCE)
+    return net
+
+
+def _decompose_paths(
+    flow: dict[tuple, dict[tuple, int]], value: int
+) -> list[tuple[Node, ...]]:
+    """Decompose an integral flow into ``value`` node paths.
+
+    Walks positive-flow arcs from the source, consuming them as used.
+    Loops (possible only through the high-capacity terminals) are erased,
+    so every returned path is simple.
+    """
+    succ: dict[tuple, list[tuple]] = {}
+    for u, nbrs in flow.items():
+        for v, fv in nbrs.items():
+            if fv > 0:
+                succ.setdefault(u, []).extend([v] * fv)
+    paths: list[tuple[Node, ...]] = []
+    for _ in range(value):
+        node_path: list[Node] = []
+        cur = _SOURCE
+        while cur != _SINK:
+            nxt = succ[cur].pop()
+            if nxt[0] == "in":
+                label = nxt[1]
+                if label in node_path:  # loop through a terminal: erase it
+                    node_path = node_path[: node_path.index(label) + 1]
+                else:
+                    node_path.append(label)
+            cur = nxt
+        paths.append(tuple(node_path))
+    return paths
+
+
+def max_disjoint_paths(
+    graph: Graph,
+    u: Node,
+    v: Node,
+    exclude_internal: Iterable[Node] = (),
+    want_paths: bool = False,
+) -> int | tuple[int, list[tuple[Node, ...]]]:
+    """Maximum number of internally node-disjoint ``uv``-paths.
+
+    ``exclude_internal`` forbids the given nodes from appearing as
+    *internal* nodes (they may still be endpoints) — the paper's notion of
+    a path "excluding" a set ``F``.  With ``want_paths=True`` also returns
+    one maximum family of disjoint paths (each a node tuple ``u .. v``).
+
+    For adjacent ``u, v`` the direct edge counts as one path (it has no
+    internal nodes), matching Menger's theorem conventions.
+    """
+    if u == v:
+        raise GraphError("endpoints must be distinct")
+    if u not in graph.nodes or v not in graph.nodes:
+        raise GraphError("both endpoints must be graph nodes")
+    net = _build_split_network(graph, [u], v, exclude_internal)
+    value, flow = net.max_flow()
+    if not want_paths:
+        return value
+    return value, _decompose_paths(flow, value)
+
+
+def max_set_disjoint_paths(
+    graph: Graph,
+    sources: Iterable[Node],
+    v: Node,
+    exclude_internal: Iterable[Node] = (),
+    want_paths: bool = False,
+) -> int | tuple[int, list[tuple[Node, ...]]]:
+    """Maximum number of node-disjoint ``Uv``-paths (fan lemma form).
+
+    Per Section 3, node-disjoint ``Uv``-paths share **no** node except the
+    endpoint ``v``; in particular their ``U``-side endpoints are distinct.
+    This is enforced by unit entry arcs from the super-source and unit
+    through-capacity at each source.
+    """
+    source_list = sorted(set(sources) - {v}, key=repr)
+    if not source_list:
+        return (0, []) if want_paths else 0
+    for s in source_list:
+        if s not in graph.nodes:
+            raise GraphError(f"source {s!r} is not a graph node")
+    if v not in graph.nodes:
+        raise GraphError(f"sink {v!r} is not a graph node")
+    net = _build_split_network(graph, source_list, v, exclude_internal)
+    for s in source_list:
+        net.capacity[_SOURCE][("in", s)] = 1
+        net.capacity[("in", s)][("out", s)] = 1
+    value, flow = net.max_flow()
+    if not want_paths:
+        return value
+    return value, _decompose_paths(flow, value)
+
+
+def local_connectivity(graph: Graph, u: Node, v: Node) -> int:
+    """κ(u, v): the maximum number of internally node-disjoint ``uv``-paths."""
+    return max_disjoint_paths(graph, u, v)
+
+
+def vertex_connectivity(graph: Graph) -> int:
+    """Global vertex connectivity κ(G).
+
+    Definition used by the paper (Section 3): ``G`` is ``k``-connected if
+    ``n > k`` and removing fewer than ``k`` nodes never disconnects it.
+    Consequently κ(K_n) = n - 1 and κ of a disconnected graph is 0.
+
+    Uses the classic pruning: fix a minimum-degree vertex ``x``; a minimum
+    cut either avoids ``x`` (then some non-neighbor of ``x`` is separated
+    from it) or contains ``x`` (then two of ``x``'s neighbors lie on
+    opposite sides), so checking those pairs suffices.
+    """
+    n = graph.n
+    if n <= 1:
+        return 0
+    if not graph.is_connected():
+        return 0
+    if all(graph.degree(v) == n - 1 for v in graph.nodes):
+        return n - 1
+    x = min(graph.nodes, key=lambda v: (graph.degree(v), repr(v)))
+    best = graph.degree(x)
+    for v in sorted(graph.nodes - graph.neighbors(x) - {x}, key=repr):
+        best = min(best, local_connectivity(graph, x, v))
+        if best == 0:
+            return 0
+    for a, b in combinations(sorted(graph.neighbors(x), key=repr), 2):
+        if not graph.has_edge(a, b):
+            best = min(best, local_connectivity(graph, a, b))
+            if best == 0:
+                return 0
+    return best
+
+
+def is_k_connected(graph: Graph, k: int) -> bool:
+    """``G`` is ``k``-connected: ``n > k`` and no cut of size < k."""
+    if k <= 0:
+        return graph.n > k
+    if graph.n <= k:
+        return False
+    return vertex_connectivity(graph) >= k
+
+
+def minimum_vertex_cut(graph: Graph) -> set[Node]:
+    """A minimum vertex cut of a connected, non-complete graph.
+
+    Returns a set ``C`` with ``|C| = κ(G)`` whose removal disconnects
+    ``G``.  Raises :class:`GraphError` for complete or disconnected
+    graphs (where no proper vertex cut exists).
+    """
+    if not graph.is_connected():
+        raise GraphError("graph is disconnected; the empty set is a cut")
+    kappa = vertex_connectivity(graph)
+    if kappa == graph.n - 1:
+        raise GraphError("complete graphs have no vertex cut")
+    for u in sorted(graph.nodes, key=repr):
+        for v in sorted(graph.nodes - graph.neighbors(u) - {u}, key=repr):
+            if local_connectivity(graph, u, v) == kappa:
+                return _min_cut_between(graph, u, v)
+    raise GraphError("no minimum cut found (internal error)")
+
+
+def _min_cut_between(graph: Graph, u: Node, v: Node) -> set[Node]:
+    """A minimum ``uv`` vertex cut for non-adjacent ``u, v``.
+
+    Edge arcs get effectively-infinite capacity here so that the min cut
+    consists purely of node through-arcs, which read back directly as a
+    vertex cut.
+    """
+    big = graph.n + 1
+    net = _build_split_network(graph, [u], v, edge_cap=big)
+    value, flow = net.max_flow()
+    reach = net.residual_reachable(flow)
+    cut = {
+        x[1]
+        for x in reach
+        if x[0] == "in" and ("out", x[1]) not in reach and x[1] not in (u, v)
+    }
+    if len(cut) != value:
+        raise GraphError("min-cut extraction failed (internal error)")
+    return cut
+
+
+def disjoint_paths_excluding(
+    graph: Graph,
+    sources: Iterable[Node],
+    v: Node,
+    exclude: Iterable[Node],
+    k: int,
+) -> list[tuple[Node, ...]] | None:
+    """``k`` node-disjoint ``Uv``-paths excluding ``exclude``, or ``None``.
+
+    This is the query Step (c) of Algorithms 1/3 performs: paths from the
+    set ``A_v`` to ``v`` whose internal nodes avoid ``F`` (endpoints may be
+    in ``F``).  Returned paths run from the ``U``-side endpoint to ``v``.
+    """
+    value, paths = max_set_disjoint_paths(
+        graph, sources, v, exclude_internal=exclude, want_paths=True
+    )
+    if value < k:
+        return None
+    return paths[:k]

@@ -1,0 +1,254 @@
+"""Undirected graph substrate used throughout the reproduction.
+
+The paper models the communication network as an undirected graph
+``G = (V, E)`` that every node knows in full (Section 3).  This module
+provides a small, dependency-free graph type with exactly the operations
+the consensus algorithms and the impossibility constructions need:
+adjacency queries, degree, node removal, connectivity checks, and
+traversal.
+
+Nodes may be any hashable value; the rest of the library mostly uses
+integers and strings (string names appear in the covering networks of the
+impossibility proofs, e.g. ``"u@0"`` / ``"u@1"`` for the two copies of
+node ``u``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Iterator
+from typing import FrozenSet, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class GraphError(ValueError):
+    """Raised for malformed graph constructions or invalid queries."""
+
+
+class Graph:
+    """An immutable, simple, undirected graph.
+
+    Self-loops and parallel edges are rejected: the paper's model has
+    neither (each edge is a FIFO link between two distinct nodes).
+
+    The adjacency structure is frozen at construction time; all mutating
+    "operations" (:meth:`remove_nodes`, :meth:`add_edges`, ...) return new
+    ``Graph`` instances.  Immutability keeps executions reproducible: a
+    protocol cannot accidentally rewire the network mid-run.
+    """
+
+    __slots__ = ("_adj", "_nodes", "_edge_count", "_hash")
+
+    def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()):
+        adj: dict[Node, set[Node]] = {v: set() for v in nodes}
+        edge_count = 0
+        for u, v in edges:
+            if u == v:
+                raise GraphError(f"self-loop at {u!r} is not allowed")
+            if u not in adj:
+                adj[u] = set()
+            if v not in adj:
+                adj[v] = set()
+            if v not in adj[u]:
+                edge_count += 1
+            adj[u].add(v)
+            adj[v].add(u)
+        self._adj: dict[Node, FrozenSet[Node]] = {
+            v: frozenset(nbrs) for v, nbrs in adj.items()
+        }
+        self._nodes: FrozenSet[Node] = frozenset(self._adj)
+        self._edge_count = edge_count
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> FrozenSet[Node]:
+        """The vertex set ``V``."""
+        return self._nodes
+
+    @property
+    def n(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of (undirected) edges ``|E|``."""
+        return self._edge_count
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over each undirected edge exactly once."""
+        seen: set[Node] = set()
+        for u in sorted(self._adj, key=repr):
+            for v in self._adj[u]:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def neighbors(self, v: Node) -> FrozenSet[Node]:
+        """Neighbors of ``v`` (nodes ``u`` with ``uv ∈ E``)."""
+        try:
+            return self._adj[v]
+        except KeyError:
+            raise GraphError(f"node {v!r} is not in the graph") from None
+
+    def degree(self, v: Node) -> int:
+        """Degree of ``v`` — the number of edges incident to it."""
+        return len(self.neighbors(v))
+
+    def min_degree(self) -> int:
+        """Minimum degree over all vertices (0 for the empty graph)."""
+        if not self._nodes:
+            return 0
+        return min(len(nbrs) for nbrs in self._adj.values())
+
+    def max_degree(self) -> int:
+        """Maximum degree over all vertices (0 for the empty graph)."""
+        if not self._nodes:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def has_node(self, v: Node) -> bool:
+        return v in self._nodes
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def __contains__(self, v: Node) -> bool:
+        return v in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._nodes, frozenset((u, frozenset(nb)) for u, nb in self._adj.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.edge_count})"
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, keep: Iterable[Node]) -> "Graph":
+        """The induced subgraph on ``keep`` (unknown nodes are ignored)."""
+        keep_set = set(keep) & self._nodes
+        edges = [
+            (u, v) for u in keep_set for v in self._adj[u] if v in keep_set
+        ]
+        return Graph(keep_set, edges)
+
+    def remove_nodes(self, drop: Iterable[Node]) -> "Graph":
+        """``G - X``: the induced subgraph on ``V - X``."""
+        drop_set = set(drop)
+        return self.subgraph(self._nodes - drop_set)
+
+    def add_edges(self, new_edges: Iterable[Edge]) -> "Graph":
+        """A new graph with ``new_edges`` added (idempotent for existing edges)."""
+        return Graph(self._nodes, list(self.edges()) + list(new_edges))
+
+    def add_nodes(self, new_nodes: Iterable[Node]) -> "Graph":
+        """A new graph with isolated ``new_nodes`` added."""
+        return Graph(set(self._nodes) | set(new_nodes), self.edges())
+
+    def relabeled(self, mapping: dict[Node, Node]) -> "Graph":
+        """A copy with nodes renamed via ``mapping`` (identity for absentees)."""
+        def name(v: Node) -> Node:
+            return mapping.get(v, v)
+
+        new_nodes = [name(v) for v in self._nodes]
+        if len(set(new_nodes)) != len(new_nodes):
+            raise GraphError("relabeling collapses distinct nodes")
+        return Graph(new_nodes, [(name(u), name(v)) for u, v in self.edges()])
+
+    # ------------------------------------------------------------------
+    # Traversal / connectivity
+    # ------------------------------------------------------------------
+    def bfs_reachable(self, source: Node, forbidden: Iterable[Node] = ()) -> set[Node]:
+        """Nodes reachable from ``source`` without entering ``forbidden``.
+
+        ``source`` itself must not be forbidden.  Used for cut detection:
+        ``G`` minus a vertex cut splits reachability.
+        """
+        blocked = set(forbidden)
+        if source in blocked:
+            raise GraphError("source may not be in the forbidden set")
+        if source not in self._nodes:
+            raise GraphError(f"node {source!r} is not in the graph")
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if v not in seen and v not in blocked:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+    def is_connected(self) -> bool:
+        """True iff the graph is connected (the empty graph counts as connected)."""
+        if self.n <= 1:
+            return True
+        start = next(iter(self._nodes))
+        return len(self.bfs_reachable(start)) == self.n
+
+    def connected_components(self) -> list[set[Node]]:
+        """All connected components, as a list of node sets."""
+        remaining = set(self._nodes)
+        components: list[set[Node]] = []
+        while remaining:
+            start = next(iter(remaining))
+            comp = self.bfs_reachable(start, forbidden=self._nodes - remaining)
+            components.append(comp)
+            remaining -= comp
+        return components
+
+    def shortest_path(self, u: Node, v: Node) -> tuple[Node, ...] | None:
+        """A shortest ``uv``-path as a node tuple, or ``None`` if disconnected."""
+        if u not in self._nodes or v not in self._nodes:
+            raise GraphError("both endpoints must be graph nodes")
+        if u == v:
+            return (u,)
+        parent: dict[Node, Node] = {u: u}
+        queue = deque([u])
+        while queue:
+            x = queue.popleft()
+            for y in self._adj[x]:
+                if y not in parent:
+                    parent[y] = x
+                    if y == v:
+                        path = [v]
+                        while path[-1] != u:
+                            path.append(parent[path[-1]])
+                        return tuple(reversed(path))
+                    queue.append(y)
+        return None
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Edge]) -> "Graph":
+        """Build a graph from an edge list alone (nodes inferred)."""
+        return cls((), edges)
+
+    @classmethod
+    def from_adjacency(cls, adjacency: dict[Node, Iterable[Node]]) -> "Graph":
+        """Build a graph from an adjacency mapping (symmetrized)."""
+        edges = [(u, v) for u, nbrs in adjacency.items() for v in nbrs]
+        return cls(adjacency.keys(), edges)

@@ -1,0 +1,84 @@
+"""Synchronous network substrate: simulator, channels, messages, adversaries.
+
+This subpackage implements the system model of Section 3 — synchronous
+rounds over FIFO links on an undirected graph — with the three channel
+models the paper studies (local broadcast, point-to-point, hybrid) and a
+library of Byzantine behaviors used across every experiment.
+"""
+
+from .adversary2 import (
+    DecisionForgeAdversary,
+    LyingReporterAdversary,
+    SilentReporterAdversary,
+    algorithm2_attack_battery,
+)
+from .adversary import (
+    Adversary,
+    CrashAdversary,
+    DropForwardAdversary,
+    EquivocatingAdversary,
+    FaultSpec,
+    HonestFactory,
+    LyingInitAdversary,
+    RandomAdversary,
+    ReplayAdversary,
+    SilentAdversary,
+    TamperForwardAdversary,
+    WrongInputAdversary,
+    standard_adversaries,
+)
+from .channels import (
+    ChannelModel,
+    EquivocationError,
+    hybrid_model,
+    local_broadcast_model,
+    point_to_point_model,
+)
+from .messages import (
+    DecisionPayload,
+    DirectMessage,
+    FloodMessage,
+    ReportPayload,
+    ValuePayload,
+)
+from .node import Context, Inbox, Outgoing, Protocol
+from .simulator import SimulationError, SynchronousNetwork
+from .trace import Trace, Transmission
+
+__all__ = [
+    "Adversary",
+    "ChannelModel",
+    "Context",
+    "CrashAdversary",
+    "DecisionForgeAdversary",
+    "DecisionPayload",
+    "DirectMessage",
+    "DropForwardAdversary",
+    "EquivocatingAdversary",
+    "EquivocationError",
+    "FaultSpec",
+    "FloodMessage",
+    "HonestFactory",
+    "Inbox",
+    "LyingInitAdversary",
+    "LyingReporterAdversary",
+    "Outgoing",
+    "Protocol",
+    "RandomAdversary",
+    "ReplayAdversary",
+    "ReportPayload",
+    "SilentAdversary",
+    "SilentReporterAdversary",
+    "SimulationError",
+    "SynchronousNetwork",
+    "TamperForwardAdversary",
+    "Trace",
+    "Transmission",
+    "ValuePayload",
+    "WrongInputAdversary",
+    "hybrid_model",
+    "local_broadcast_model",
+    "point_to_point_model",
+    "algorithm2_attack_battery",
+    "standard_adversaries",
+]

@@ -1,0 +1,523 @@
+"""Byzantine adversary framework and behavior library.
+
+The paper's proofs quantify over *all* adversaries; a simulator cannot.
+What it can do is (a) implement the worst-case behaviors the proofs
+themselves construct — path tampering, equivocation, transcript replay
+from the covering network — and (b) fuzz with seeded random behaviors.
+Every experiment in this library draws its faulty nodes' behavior from
+here.
+
+Design: an :class:`Adversary` builds a :class:`~repro.net.node.Protocol`
+for each faulty node.  Most behaviors wrap the *honest* protocol and
+transform its outbox (tamper, crash, equivocate); others replace it
+entirely (silent, replay).  All sends are routed through the
+:class:`~repro.net.node.Context` primitives, so the channel model is
+enforced on adversaries exactly as on honest nodes: a non-equivocating
+faulty node physically cannot deliver different bits to different
+neighbors.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from ..graphs import Graph
+from .channels import ChannelModel
+from .messages import FloodMessage, ValuePayload
+from .node import Context, Protocol
+from .trace import Transmission
+
+HonestFactory = Callable[[Hashable, int], Protocol]
+"""Builds the honest protocol for (node, input_value)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Everything an adversary may use when instantiating a faulty node.
+
+    Byzantine nodes know the graph, the fault bound, their co-conspirators
+    and their own input; they do **not** get honest nodes' private state —
+    anything else they learn must arrive through their inbox.
+    """
+
+    node: Hashable
+    graph: Graph
+    channel: ChannelModel
+    input_value: int
+    f: int
+    faulty: FrozenSet[Hashable]
+    honest_factory: HonestFactory
+
+    def honest(self, input_value: Optional[int] = None) -> Protocol:
+        value = self.input_value if input_value is None else input_value
+        return self.honest_factory(self.node, value)
+
+
+class Adversary(ABC):
+    """Builds faulty-node protocols.  Subclasses define one behavior."""
+
+    name = "adversary"
+
+    @abstractmethod
+    def build(self, spec: FaultSpec) -> Protocol:
+        """Instantiate the behavior for one faulty node."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Wrapper plumbing
+# ---------------------------------------------------------------------------
+
+
+class _WrapperProtocol(Protocol):
+    """Runs an inner (honest) protocol and post-processes its outbox.
+
+    The inner protocol sees the true inbox; only what leaves the node is
+    altered.  Subclasses override :meth:`transform`, yielding
+    ``(message, target)`` pairs (``target=None`` for broadcast), which are
+    re-sent through the real context so channel enforcement applies.
+    """
+
+    def __init__(self, inner: Protocol):
+        self.inner = inner
+
+    def on_round(self, ctx: Context) -> None:
+        shadow = Context(
+            node=ctx.node,
+            graph=ctx.graph,
+            round_no=ctx.round_no,
+            channel=ctx.channel,
+            inbox=ctx.inbox,
+        )
+        self.inner.on_round(shadow)
+        for message, target in self.transform(
+            [(o.message, o.target) for o in shadow.outbox], ctx
+        ):
+            if target is None:
+                ctx.broadcast(message)
+            else:
+                ctx.send(target, message)
+
+    def transform(
+        self, outbox: List[Tuple[object, Optional[Hashable]]], ctx: Context
+    ) -> List[Tuple[object, Optional[Hashable]]]:
+        return outbox
+
+    def output(self) -> Optional[int]:
+        return self.inner.output()
+
+    @property
+    def finished(self) -> bool:
+        return self.inner.finished
+
+
+# ---------------------------------------------------------------------------
+# Behaviors
+# ---------------------------------------------------------------------------
+
+
+class SilentAdversary(Adversary):
+    """Never transmits anything.  Exercises the default-message rule
+    ("a missing initiation is read as (1, ⊥)")."""
+
+    name = "silent"
+
+    class _Silent(Protocol):
+        def on_round(self, ctx: Context) -> None:
+            return
+
+        def output(self) -> Optional[int]:
+            return None
+
+        @property
+        def finished(self) -> bool:
+            return True
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        return self._Silent()
+
+
+class CrashAdversary(Adversary):
+    """Behaves honestly, then goes permanently silent at ``crash_round``."""
+
+    name = "crash"
+
+    def __init__(self, crash_round: int):
+        self.crash_round = crash_round
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        crash_round = self.crash_round
+
+        class _Crash(_WrapperProtocol):
+            def transform(self, outbox, ctx):
+                if ctx.round_no >= crash_round:
+                    return []
+                return outbox
+
+        return _Crash(spec.honest())
+
+
+class WrongInputAdversary(Adversary):
+    """Runs the honest protocol on a flipped input.
+
+    The blandest Byzantine behavior — indistinguishable from an honest
+    node with the other input, so validity tests must tolerate it.
+    """
+
+    name = "wrong-input"
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        return spec.honest(input_value=1 - spec.input_value)
+
+
+class TamperForwardAdversary(Adversary):
+    """Forwards flood messages with flipped values.
+
+    ``selector(message, spec)`` picks which outgoing flood messages to
+    corrupt; the default corrupts every *forwarded* message (those with a
+    non-empty path — the node's own initiation stays truthful, which is
+    the "node 3 tampers the relayed message" attack from Section 4's
+    intuition-building example).
+    """
+
+    name = "tamper-forward"
+
+    def __init__(
+        self,
+        selector: Optional[Callable[[FloodMessage, FaultSpec], bool]] = None,
+    ):
+        self.selector = selector
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        selector = self.selector or (lambda m, s: len(m.path) > 0)
+
+        class _Tamper(_WrapperProtocol):
+            def transform(self, outbox, ctx):
+                result = []
+                for message, target in outbox:
+                    if (
+                        isinstance(message, FloodMessage)
+                        and isinstance(message.payload, ValuePayload)
+                        and selector(message, spec)
+                    ):
+                        flipped = FloodMessage(
+                            message.phase,
+                            ValuePayload(1 - message.payload.value),
+                            message.path,
+                        )
+                        result.append((flipped, target))
+                    else:
+                        result.append((message, target))
+                return result
+
+        return _Tamper(spec.honest())
+
+
+class LyingInitAdversary(Adversary):
+    """Initiates flooding with the wrong value but forwards honestly.
+
+    Distinct from :class:`WrongInputAdversary` only for protocols whose
+    state evolves across phases (Algorithm 1's γ updates): this one lies
+    at every initiation regardless of its current honest-protocol state.
+    """
+
+    name = "lying-init"
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        class _Lie(_WrapperProtocol):
+            def transform(self, outbox, ctx):
+                result = []
+                for message, target in outbox:
+                    if (
+                        isinstance(message, FloodMessage)
+                        and isinstance(message.payload, ValuePayload)
+                        and len(message.path) == 0
+                    ):
+                        flipped = FloodMessage(
+                            message.phase,
+                            ValuePayload(1 - message.payload.value),
+                            message.path,
+                        )
+                        result.append((flipped, target))
+                    else:
+                        result.append((message, target))
+                return result
+
+        return _Lie(spec.honest())
+
+
+class DropForwardAdversary(Adversary):
+    """Initiates its own flooding but never forwards anyone else's
+    messages — severs every path routed through it."""
+
+    name = "drop-forward"
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        class _Drop(_WrapperProtocol):
+            def transform(self, outbox, ctx):
+                return [
+                    (m, t)
+                    for m, t in outbox
+                    if not (isinstance(m, FloodMessage) and len(m.path) > 0)
+                ]
+
+        return _Drop(spec.honest())
+
+
+class EquivocatingAdversary(Adversary):
+    """Sends value 0 to one half of its neighbors and 1 to the other.
+
+    Only usable where the channel grants this node unicast (hybrid model
+    equivocators, or the point-to-point model); under pure local
+    broadcast, building this behavior raises at send time — which is
+    itself a property the tests assert.
+    """
+
+    name = "equivocate"
+
+    def __init__(self, split: Optional[Callable[[Hashable], int]] = None):
+        self.split = split
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        custom_split = self.split
+
+        class _Equivocate(_WrapperProtocol):
+            def transform(self, outbox, ctx):
+                neighbors = sorted(ctx.graph.neighbors(ctx.node), key=repr)
+                result = []
+                for message, target in outbox:
+                    if (
+                        target is None
+                        and isinstance(message, FloodMessage)
+                        and isinstance(message.payload, ValuePayload)
+                    ):
+                        for i, nbr in enumerate(neighbors):
+                            # Default: alternate by neighbor rank, which
+                            # guarantees a genuine split whenever the node
+                            # has at least two neighbors.
+                            value = custom_split(nbr) if custom_split else i % 2
+                            variant = FloodMessage(
+                                message.phase, ValuePayload(value), message.path
+                            )
+                            result.append((variant, nbr))
+                    else:
+                        result.append((message, target))
+                return result
+
+        return _Equivocate(spec.honest())
+
+
+class RandomAdversary(Adversary):
+    """Seeded chaos within the channel's physics.
+
+    Each outgoing flood message is independently delivered honestly,
+    value-flipped, or dropped; occasionally a syntactically valid
+    fabricated message (a lie about a path ending at this node) is
+    broadcast.  Deterministic per (seed, node).
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int, p_flip: float = 0.4, p_drop: float = 0.2,
+                 p_fabricate: float = 0.2):
+        self.seed = seed
+        self.p_flip = p_flip
+        self.p_drop = p_drop
+        self.p_fabricate = p_fabricate
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        rng = random.Random((self.seed, repr(spec.node)).__repr__())
+        p_flip, p_drop, p_fab = self.p_flip, self.p_drop, self.p_fabricate
+
+        class _Chaos(_WrapperProtocol):
+            def transform(self, outbox, ctx):
+                result = []
+                phase = None
+                for message, target in outbox:
+                    if isinstance(message, FloodMessage) and isinstance(
+                        message.payload, ValuePayload
+                    ):
+                        phase = message.phase
+                        roll = rng.random()
+                        if roll < p_drop:
+                            continue
+                        if roll < p_drop + p_flip:
+                            message = FloodMessage(
+                                message.phase,
+                                ValuePayload(1 - message.payload.value),
+                                message.path,
+                            )
+                    result.append((message, target))
+                if phase is not None and rng.random() < p_fab:
+                    fake = self._fabricate(ctx, phase)
+                    if fake is not None:
+                        result.append((fake, None))
+                return result
+
+            @staticmethod
+            def _fabricate(ctx: Context, phase) -> Optional[FloodMessage]:
+                # A lie about a short path that really exists in G and ends
+                # just before this node, so receivers' rule (i) accepts it.
+                me = ctx.node
+                nbrs = sorted(ctx.graph.neighbors(me), key=repr)
+                if not nbrs:
+                    return None
+                first = rng.choice(nbrs)
+                second_choices = [
+                    w
+                    for w in sorted(ctx.graph.neighbors(first), key=repr)
+                    if w != me
+                ]
+                path: Tuple[Hashable, ...]
+                if second_choices and rng.random() < 0.5:
+                    path = (rng.choice(second_choices), first)
+                else:
+                    path = (first,)
+                return FloodMessage(phase, ValuePayload(rng.randint(0, 1)), path)
+
+        return _Chaos(spec.honest())
+
+
+class ReplayAdversary(Adversary):
+    """Transmits a prescribed per-round schedule, verbatim.
+
+    This is the adversary of the impossibility proofs: "in each round, a
+    faulty node broadcasts the same messages as the corresponding node in
+    network 𝒢 in execution E in the same round" (Lemmas A.1/A.2/D.1/D.2).
+    ``schedules[node]`` maps round → list of (message, target) pairs.
+    """
+
+    name = "replay"
+
+    def __init__(
+        self,
+        schedules: Dict[Hashable, Dict[int, List[Tuple[object, Optional[Hashable]]]]],
+    ):
+        self.schedules = schedules
+
+    @classmethod
+    def from_transmissions(
+        cls,
+        per_node: Dict[Hashable, List[Transmission]],
+        retarget: Optional[Callable[[Transmission], Optional[Hashable]]] = None,
+    ) -> "ReplayAdversary":
+        """Build schedules straight from recorded trace transmissions."""
+        schedules: Dict[Hashable, Dict[int, List[Tuple[object, Optional[Hashable]]]]] = {}
+        for node, txs in per_node.items():
+            per_round: Dict[int, List[Tuple[object, Optional[Hashable]]]] = {}
+            for t in txs:
+                target = retarget(t) if retarget else t.target
+                per_round.setdefault(t.round_no, []).append((t.message, target))
+            schedules[node] = per_round
+        return cls(schedules)
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        schedule = self.schedules.get(spec.node, {})
+
+        class _Replay(Protocol):
+            def on_round(self, ctx: Context) -> None:
+                for message, target in schedule.get(ctx.round_no, []):
+                    if target is None:
+                        ctx.broadcast(message)
+                    else:
+                        ctx.send(target, message)
+
+            def output(self) -> Optional[int]:
+                return None
+
+            @property
+            def finished(self) -> bool:
+                return True
+
+        return _Replay()
+
+
+class SplitReplayAdversary(Adversary):
+    """Equivocating replay: different prescribed transcripts per neighbor
+    group.
+
+    This is the faulty behavior of the hybrid-model impossibility proofs
+    (Lemmas D.1/D.2): "the communication by equivocating faulty nodes in
+    T to its neighbors in S is the same as that by the corresponding copy
+    in T0 and to the remaining neighbors the same as that by T1."
+    ``group_schedules[node]`` is a list of ``(targets, schedule)`` pairs;
+    each round, every message of each schedule is unicast to the targets
+    of its group (requires a channel granting this node unicast).
+    """
+
+    name = "split-replay"
+
+    def __init__(
+        self,
+        group_schedules: Dict[
+            Hashable,
+            List[
+                Tuple[
+                    FrozenSet[Hashable],
+                    Dict[int, List[Tuple[object, Optional[Hashable]]]],
+                ]
+            ],
+        ],
+    ):
+        self.group_schedules = group_schedules
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        groups = self.group_schedules.get(spec.node, [])
+        neighbors = spec.graph.neighbors(spec.node)
+
+        class _SplitReplay(Protocol):
+            def on_round(self, ctx: Context) -> None:
+                for targets, schedule in groups:
+                    for message, _target in schedule.get(ctx.round_no, []):
+                        for nbr in sorted(targets & neighbors, key=repr):
+                            ctx.send(nbr, message)
+
+            def output(self) -> Optional[int]:
+                return None
+
+            @property
+            def finished(self) -> bool:
+                return True
+
+        return _SplitReplay()
+
+
+class CompositeAdversary(Adversary):
+    """Per-node dispatch: different faulty nodes get different behaviors.
+
+    The impossibility executions mix plain transcript replay
+    (non-equivocating faults) with split replay (equivocating faults) in
+    the same run; experiments also use this to combine e.g. one silent
+    and one tampering node.
+    """
+
+    name = "composite"
+
+    def __init__(self, assignments: Dict[Hashable, Adversary],
+                 default: Optional[Adversary] = None):
+        self.assignments = dict(assignments)
+        self.default = default
+
+    def build(self, spec: FaultSpec) -> Protocol:
+        chosen = self.assignments.get(spec.node, self.default)
+        if chosen is None:
+            raise ValueError(f"no behavior assigned for faulty node {spec.node!r}")
+        return chosen.build(spec)
+
+
+def standard_adversaries(seed: int = 7) -> list[Adversary]:
+    """The battery every correctness sweep runs against."""
+    return [
+        SilentAdversary(),
+        CrashAdversary(crash_round=2),
+        WrongInputAdversary(),
+        LyingInitAdversary(),
+        TamperForwardAdversary(),
+        DropForwardAdversary(),
+        RandomAdversary(seed=seed),
+    ]

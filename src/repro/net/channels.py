@@ -1,0 +1,72 @@
+"""Channel models: where local-broadcast vs point-to-point is *enforced*.
+
+The paper studies three communication models on the same graph:
+
+* **local broadcast** (Sections 4–5): every transmission by a node is
+  received identically by all of its neighbors.  Equivocation is
+  physically impossible — this mirrors a shared radio medium;
+* **point-to-point** (classical): a node may send different messages to
+  different neighbors without others overhearing;
+* **hybrid** (Section 6): up to ``t`` designated faulty nodes can
+  equivocate; everyone else (honest or faulty) is restricted to local
+  broadcast.
+
+The simulator routes every send through a :class:`ChannelModel`.  A
+protocol (or adversary) running on a non-equivocating node simply has no
+working unicast primitive — attempting one raises
+:class:`EquivocationError`.  This keeps the model guarantee out of the
+trusted-code base of each protocol: adversaries cannot opt out of physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Hashable
+
+
+class EquivocationError(RuntimeError):
+    """A node attempted a per-neighbor send that its channel model forbids."""
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelModel:
+    """Which nodes may address individual neighbors.
+
+    ``kind`` is one of ``"local_broadcast"``, ``"point_to_point"``, or
+    ``"hybrid"``; ``equivocators`` is only meaningful for the hybrid model
+    (the ≤ t faulty nodes granted point-to-point power).
+    """
+
+    kind: str
+    equivocators: FrozenSet[Hashable] = field(default_factory=frozenset)
+
+    _KINDS = ("local_broadcast", "point_to_point", "hybrid")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ValueError(f"unknown channel kind {self.kind!r}")
+        if self.kind != "hybrid" and self.equivocators:
+            raise ValueError("equivocators are only meaningful in the hybrid model")
+
+    def may_unicast(self, node: Hashable) -> bool:
+        """May ``node`` send a message to a single neighbor privately?"""
+        if self.kind == "point_to_point":
+            return True
+        if self.kind == "hybrid":
+            return node in self.equivocators
+        return False
+
+
+def local_broadcast_model() -> ChannelModel:
+    """The model of Sections 4–5: nobody can equivocate."""
+    return ChannelModel("local_broadcast")
+
+
+def point_to_point_model() -> ChannelModel:
+    """The classical model: every node can equivocate."""
+    return ChannelModel("point_to_point")
+
+
+def hybrid_model(equivocators) -> ChannelModel:
+    """Section 6: only the given (faulty) nodes can equivocate."""
+    return ChannelModel("hybrid", frozenset(equivocators))

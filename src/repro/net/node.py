@@ -1,0 +1,99 @@
+"""Protocol interface: what a node's state machine looks like.
+
+Appendix A of the paper describes an algorithm as "a procedure ``A_u``
+for each node ``u`` that describes state transitions of ``u``: in each
+synchronous round, each node optionally sends messages to its neighbors,
+receives messages from the neighbors, and then updates its state."
+
+:class:`Protocol` is exactly that.  Once per round the simulator calls
+:meth:`Protocol.on_round` with a :class:`Context` that exposes the inbox
+(messages delivered this round, FIFO per sender) and the two send
+primitives.  Sends take effect at the *end* of the round and are
+delivered at the start of the next one.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+from ..graphs import Graph
+from .channels import ChannelModel, EquivocationError
+
+Inbox = List[Tuple[Hashable, object]]  # (sender, message), FIFO order
+
+
+@dataclass(slots=True)
+class Outgoing:
+    """One queued transmission: broadcast if ``target is None``."""
+
+    message: object
+    target: Optional[Hashable] = None
+
+
+@dataclass(slots=True)
+class Context:
+    """Per-round view a protocol gets of the world.
+
+    ``inbox`` holds the messages delivered this round (sent by neighbors
+    last round).  ``broadcast`` queues a transmission every neighbor will
+    receive; ``send`` queues a private transmission — which raises
+    :class:`EquivocationError` unless the channel model grants this node
+    point-to-point power.  Protocols must not keep references across
+    rounds; all cross-round state belongs in the protocol object.
+    """
+
+    node: Hashable
+    graph: Graph
+    round_no: int
+    channel: ChannelModel
+    inbox: Inbox
+    outbox: List[Outgoing] = field(default_factory=list)
+
+    def broadcast(self, message: object) -> None:
+        """Queue ``message`` for delivery to *all* neighbors next round."""
+        self.outbox.append(Outgoing(message))
+
+    def send(self, target: Hashable, message: object) -> None:
+        """Queue a private message to one neighbor (point-to-point power).
+
+        Raises :class:`EquivocationError` if this node's channel does not
+        permit unicast, and ``ValueError`` if ``target`` is not a
+        neighbor (there is no link to deliver on).
+        """
+        if not self.channel.may_unicast(self.node):
+            raise EquivocationError(
+                f"node {self.node!r} is restricted to local broadcast"
+            )
+        if target not in self.graph.neighbors(self.node):
+            raise ValueError(f"{target!r} is not a neighbor of {self.node!r}")
+        self.outbox.append(Outgoing(message, target=target))
+
+    def from_sender(self, sender: Hashable) -> list[object]:
+        """This round's messages from one neighbor, in FIFO order."""
+        return [m for s, m in self.inbox if s == sender]
+
+
+class Protocol(ABC):
+    """A per-node synchronous state machine.
+
+    Subclasses implement :meth:`on_round`; the simulator stops a node's
+    participation when :meth:`output` becomes non-``None`` *and* the
+    protocol reports it no longer needs to run (``finished``).  Consensus
+    protocols must keep forwarding messages after deciding until their
+    final round, so ``finished`` is separate from having an output.
+    """
+
+    @abstractmethod
+    def on_round(self, ctx: Context) -> None:
+        """Handle one synchronous round (read inbox, queue sends, update state)."""
+
+    def output(self) -> Optional[int]:
+        """The decided value, or ``None`` while undecided."""
+        return None
+
+    @property
+    def finished(self) -> bool:
+        """True when the node will neither send nor change state again."""
+        return self.output() is not None

@@ -1,0 +1,135 @@
+"""The synchronous round simulator.
+
+Implements the system model of Section 3: a synchronous network over an
+undirected graph of FIFO links where, under local broadcast, "a message
+sent by any node is received identically and correctly by each of its
+neighbors".
+
+Each round proceeds in two half-steps, matching the paper's state-machine
+formulation (Appendix A):
+
+1. every node's protocol runs with the messages delivered this round and
+   queues its sends;
+2. all queued sends are delivered simultaneously into next round's
+   inboxes (broadcasts to every neighbor, unicasts — where the channel
+   model permits them — to their single target).
+
+Determinism: nodes are stepped in sorted order and inboxes preserve
+per-sender FIFO order, so a run is a pure function of (graph, protocols,
+channel model, rounds).  Any randomness lives inside protocols/adversaries
+behind explicit seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional
+
+from ..graphs import Graph
+from .channels import ChannelModel, local_broadcast_model
+from .node import Context, Inbox, Protocol
+from .trace import Trace, Transmission
+
+
+class SimulationError(RuntimeError):
+    """Raised when a run cannot proceed (missing protocols, bad config)."""
+
+
+class SynchronousNetwork:
+    """Run a set of per-node protocols in lockstep on a graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocols: Mapping[Hashable, Protocol],
+        channel: Optional[ChannelModel] = None,
+    ):
+        missing = graph.nodes - set(protocols)
+        if missing:
+            raise SimulationError(f"no protocol for nodes {sorted(missing, key=repr)}")
+        extra = set(protocols) - graph.nodes
+        if extra:
+            raise SimulationError(f"protocols for unknown nodes {sorted(extra, key=repr)}")
+        self.graph = graph
+        self.protocols: Dict[Hashable, Protocol] = dict(protocols)
+        self.channel = channel if channel is not None else local_broadcast_model()
+        self.trace = Trace()
+        self.round_no = 0
+        self._pending: Dict[Hashable, Inbox] = {v: [] for v in graph.nodes}
+        self._order = sorted(graph.nodes, key=repr)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one synchronous round."""
+        self.round_no += 1
+        inboxes, self._pending = self._pending, {v: [] for v in self.graph.nodes}
+        outboxes: list[tuple[Hashable, Context]] = []
+        for node in self._order:
+            ctx = Context(
+                node=node,
+                graph=self.graph,
+                round_no=self.round_no,
+                channel=self.channel,
+                inbox=inboxes[node],
+            )
+            self.protocols[node].on_round(ctx)
+            outboxes.append((node, ctx))
+        for node, ctx in outboxes:
+            neighbors = sorted(self.graph.neighbors(node), key=repr)
+            for out in ctx.outbox:
+                if out.target is None:
+                    recipients = tuple(neighbors)
+                else:
+                    # Defense in depth: Context.send already rejects
+                    # unicasts from broadcast-restricted nodes, but a
+                    # protocol appending to the outbox directly must not
+                    # bypass the channel model either.
+                    if not self.channel.may_unicast(node):
+                        raise SimulationError(
+                            f"node {node!r} attempted unicast under "
+                            f"{self.channel.kind} channel"
+                        )
+                    recipients = (out.target,)
+                self.trace.record(
+                    Transmission(
+                        round_no=self.round_no,
+                        sender=node,
+                        message=out.message,
+                        target=out.target,
+                        recipients=recipients,
+                    )
+                )
+                for r in recipients:
+                    self._pending[r].append((node, out.message))
+        if self.trace.rounds < self.round_no:
+            self.trace.rounds = self.round_no
+
+    def run(self, rounds: int) -> Trace:
+        """Run exactly ``rounds`` rounds (protocols may finish earlier)."""
+        for _ in range(rounds):
+            self.step()
+        return self.trace
+
+    def run_until_decided(self, max_rounds: int, honest: Optional[set] = None) -> Trace:
+        """Run until every (honest) protocol reports ``finished``.
+
+        Raises :class:`SimulationError` if ``max_rounds`` elapse first —
+        termination violations surface as errors, not hangs.
+        """
+        watch = set(honest) if honest is not None else set(self.protocols)
+        for _ in range(max_rounds):
+            if all(self.protocols[v].finished for v in watch):
+                return self.trace
+            self.step()
+        if all(self.protocols[v].finished for v in watch):
+            return self.trace
+        undecided = sorted(
+            (v for v in watch if not self.protocols[v].finished), key=repr
+        )
+        raise SimulationError(
+            f"nodes {undecided} undecided after {max_rounds} rounds"
+        )
+
+    # ------------------------------------------------------------------
+    def outputs(self) -> Dict[Hashable, Optional[int]]:
+        """Each node's current output (``None`` while undecided)."""
+        return {v: p.output() for v, p in self.protocols.items()}

@@ -1,0 +1,78 @@
+"""Execution traces: everything that went over the air, with accounting.
+
+The trace is the simulator's ground truth.  It drives:
+
+* complexity accounting (rounds, transmissions, deliveries) for the
+  Theorem 5.6 vs Algorithm 1 cost benchmarks;
+* the impossibility experiments, which record an execution ``E`` on the
+  covering network and *replay* faulty nodes' transmissions into the
+  executions ``E1, E2, E3`` (Appendices A and D);
+* debugging: a faithful log of who said what, when, to whom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Transmission:
+    """One send event.  ``target is None`` means local broadcast;
+    ``recipients`` is the realized delivery set (the sender's neighbors
+    for a broadcast, the single target otherwise)."""
+
+    round_no: int
+    sender: Hashable
+    message: object
+    target: Optional[Hashable]
+    recipients: Tuple[Hashable, ...]
+
+
+@dataclass(slots=True)
+class Trace:
+    """An append-only log of transmissions plus run metadata."""
+
+    transmissions: List[Transmission] = field(default_factory=list)
+    rounds: int = 0
+
+    def record(self, t: Transmission) -> None:
+        self.transmissions.append(t)
+        if t.round_no > self.rounds:
+            self.rounds = t.round_no
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    @property
+    def transmission_count(self) -> int:
+        """Number of send events (a broadcast counts once)."""
+        return len(self.transmissions)
+
+    @property
+    def delivery_count(self) -> int:
+        """Number of (message, recipient) deliveries."""
+        return sum(len(t.recipients) for t in self.transmissions)
+
+    def sent_by(self, node: Hashable) -> list[Transmission]:
+        """All transmissions made by ``node``, in order."""
+        return [t for t in self.transmissions if t.sender == node]
+
+    def broadcasts_by(self, node: Hashable) -> list[Transmission]:
+        """Broadcast transmissions by ``node`` (excludes unicasts)."""
+        return [t for t in self.transmissions if t.sender == node and t.target is None]
+
+    def received_by(self, node: Hashable) -> list[Transmission]:
+        """All transmissions delivered to ``node``, in order."""
+        return [t for t in self.transmissions if node in t.recipients]
+
+    def per_round(self, round_no: int) -> list[Transmission]:
+        return [t for t in self.transmissions if t.round_no == round_no]
+
+    def replay_schedule(self, node: Hashable) -> dict[int, list[Transmission]]:
+        """``node``'s transmissions grouped by round — the exact shape a
+        :class:`~repro.net.adversary.ReplayAdversary` consumes."""
+        schedule: dict[int, list[Transmission]] = {}
+        for t in self.sent_by(node):
+            schedule.setdefault(t.round_no, []).append(t)
+        return schedule

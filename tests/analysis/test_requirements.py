@@ -1,0 +1,88 @@
+"""Requirement tables and trade-off curves."""
+
+import pytest
+
+from repro.analysis import (
+    equivocation_price,
+    feasibility_matrix,
+    hybrid_tradeoff_table,
+    requirement_table,
+    smallest_feasible_complete_graph,
+)
+from repro.graphs import complete_graph, paper_figure_1a, paper_figure_1b
+
+
+class TestRequirementTable:
+    def test_headline_numbers(self):
+        rows = {r.f: r for r in requirement_table(4)}
+        # Paper Section 1: LB needs floor(3f/2)+1 connectivity vs 2f+1.
+        assert rows[1].lb_connectivity == 2 and rows[1].p2p_connectivity == 3
+        assert rows[2].lb_connectivity == 4 and rows[2].p2p_connectivity == 5
+        assert rows[4].lb_connectivity == 7 and rows[4].p2p_connectivity == 9
+
+    def test_min_nodes_2f1_vs_3f1(self):
+        for row in requirement_table(4):
+            assert row.lb_min_nodes == 2 * row.f + 1
+            assert row.p2p_min_nodes == 3 * row.f + 1
+            assert row.node_saving == row.f
+
+    def test_savings_grow_with_f(self):
+        rows = requirement_table(6)
+        savings = [r.connectivity_saving for r in rows]
+        assert savings == sorted(savings)
+        assert savings[-1] >= 3
+
+    def test_min_degree_column(self):
+        assert all(r.lb_min_degree == 2 * r.f for r in requirement_table(3))
+
+
+class TestSmallestComplete:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_lb_matches_rabin_ben_or(self, f):
+        assert smallest_feasible_complete_graph(f, "local-broadcast") == 2 * f + 1
+
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_p2p_matches_pease_shostak_lamport(self, f):
+        assert smallest_feasible_complete_graph(f, "point-to-point") == 3 * f + 1
+
+
+class TestHybridTradeoff:
+    def test_endpoints(self):
+        rows = hybrid_tradeoff_table(3)
+        assert rows[0].connectivity_required == 5   # floor(9/2)+1
+        assert rows[-1].connectivity_required == 7  # 2f+1
+
+    def test_monotone_and_annotated(self):
+        rows = hybrid_tradeoff_table(4)
+        values = [r.connectivity_required for r in rows]
+        assert values == sorted(values)
+        assert rows[0].min_degree_requirement == 8
+        assert rows[0].set_neighbor_requirement is None
+        assert rows[1].set_neighbor_requirement == 9
+        assert rows[1].min_degree_requirement is None
+
+    def test_equivocation_price_starts_at_zero(self):
+        price = equivocation_price(4)
+        assert price[0] == (0, 0)
+        assert price[-1] == (4, 2)  # 2f+1 - (floor(3f/2)+1) = ceil(f/2)
+        extras = [p for _, p in price]
+        assert extras == sorted(extras)
+
+
+class TestFeasibilityMatrix:
+    def test_figure_1a(self):
+        matrix = feasibility_matrix(paper_figure_1a(), 2)
+        f1 = matrix[0]
+        assert f1[1] is True      # LB feasible at f=1
+        assert f1[2] is False     # p2p not
+        assert f1[3][0] is True   # hybrid t=0
+        assert f1[3][1] is False  # hybrid t=1 needs kappa 3
+        f2 = matrix[1]
+        assert f2[1] is False
+
+    def test_k7_tolerates_more_under_lb(self):
+        matrix = feasibility_matrix(complete_graph(7), 3)
+        by_f = {row[0]: row for row in matrix}
+        assert by_f[3][1] is True    # LB: f = 3 on K7 (= K_{2f+1})
+        assert by_f[3][2] is False   # p2p caps at f = 2
+        assert by_f[2][2] is True

@@ -1,0 +1,70 @@
+"""Sweep driver mechanics."""
+
+from repro.analysis import consensus_sweep, fault_subsets, input_patterns
+from repro.consensus import algorithm1_factory
+from repro.graphs import cycle_graph
+from repro.net import SilentAdversary, TamperForwardAdversary
+
+
+class TestInputPatterns:
+    def test_patterns_cover_graph(self, c5):
+        patterns = input_patterns(c5)
+        assert set(patterns) == {"all-zero", "all-one", "alternating", "split"}
+        for assignment in patterns.values():
+            assert set(assignment) == c5.nodes
+            assert set(assignment.values()) <= {0, 1}
+
+    def test_split_is_balanced(self, c5):
+        split = input_patterns(c5)["split"]
+        assert sorted(split.values()) == [0, 0, 1, 1, 1]
+
+
+class TestFaultSubsets:
+    def test_sizes_respected(self, c5):
+        subsets = fault_subsets(c5, 2)
+        assert all(1 <= len(s) <= 2 for s in subsets)
+        assert len(subsets) == 10 + 5
+
+    def test_include_empty(self, c5):
+        subsets = fault_subsets(c5, 1, include_empty=True)
+        assert () in subsets
+
+    def test_limit_is_deterministic(self, c5):
+        a = fault_subsets(c5, 2, limit=4, seed=1)
+        b = fault_subsets(c5, 2, limit=4, seed=1)
+        assert a == b and len(a) == 4
+        c = fault_subsets(c5, 2, limit=4, seed=2)
+        assert a != c
+
+    def test_largest_subsets_first_without_limit(self, c5):
+        subsets = fault_subsets(c5, 2)
+        assert len(subsets[0]) == 2
+
+
+class TestConsensusSweep:
+    def test_sweep_shape_and_verdict(self, c4):
+        report = consensus_sweep(
+            c4,
+            algorithm1_factory(c4, 1),
+            f=1,
+            adversaries=[SilentAdversary(), TamperForwardAdversary()],
+            patterns=["all-one", "alternating"],
+        )
+        assert report.runs == 4 * 2 * 2
+        assert report.all_consensus
+        assert report.failures == []
+        assert report.max_rounds > 0
+        assert report.max_transmissions > 0
+
+    def test_records_carry_metadata(self, c4):
+        report = consensus_sweep(
+            c4,
+            algorithm1_factory(c4, 1),
+            f=1,
+            adversaries=[SilentAdversary()],
+            patterns=["all-one"],
+        )
+        record = report.records[0]
+        assert record.adversary == "silent"
+        assert record.inputs_name == "all-one"
+        assert record.decision == 1

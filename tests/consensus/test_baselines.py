@@ -1,0 +1,124 @@
+"""Point-to-point baselines: EIG correctness and the classical attack."""
+
+import pytest
+
+from repro.consensus import (
+    DolevEIGProtocol,
+    EIGEquivocatingAdversary,
+    EIGProtocol,
+    dolev_eig_factory,
+    eig_factory,
+    run_consensus,
+)
+from repro.graphs import circulant_graph, complete_graph, cycle_graph
+from repro.net import (
+    SilentAdversary,
+    WrongInputAdversary,
+    point_to_point_model,
+)
+
+P2P = point_to_point_model()
+
+
+class TestEIGOnCompleteGraphs:
+    def test_requires_complete_graph(self):
+        with pytest.raises(ValueError):
+            EIGProtocol(cycle_graph(4), 0, 1, 0)
+
+    def test_no_fault_agreement(self):
+        g = complete_graph(4)
+        res = run_consensus(
+            g, eig_factory(g, 1), {0: 1, 1: 1, 2: 0, 3: 1}, f=1, channel=P2P
+        )
+        assert res.consensus and res.decision == 1
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [SilentAdversary(), WrongInputAdversary(), EIGEquivocatingAdversary()],
+        ids=lambda a: a.name,
+    )
+    def test_k4_f1_tolerates(self, adversary):
+        g = complete_graph(4)
+        res = run_consensus(
+            g, eig_factory(g, 1), {v: v % 2 for v in g.nodes}, f=1,
+            faulty=[2], adversary=adversary, channel=P2P,
+        )
+        assert res.consensus, adversary.name
+
+    def test_k7_f2_equivocators(self):
+        g = complete_graph(7)
+        for inputs in [{v: v % 2 for v in g.nodes}, {v: 1 for v in g.nodes}]:
+            res = run_consensus(
+                g, eig_factory(g, 2), inputs, f=2,
+                faulty=[1, 4], adversary=EIGEquivocatingAdversary(), channel=P2P,
+            )
+            assert res.consensus
+
+    def test_rounds_are_f_plus_2(self):
+        g = complete_graph(4)
+        res = run_consensus(
+            g, eig_factory(g, 1), {v: 0 for v in g.nodes}, f=1, channel=P2P
+        )
+        assert res.rounds <= 3
+
+
+class TestClassicalImpossibility:
+    def test_k3_f1_broken_by_equivocation(self):
+        """n = 3 < 3f + 1: the classical attack defeats EIG — the exact
+        spot where the local-broadcast model (K3 = K_{2f+1}) wins."""
+        g = complete_graph(3)
+        res = run_consensus(
+            g, eig_factory(g, 1), {v: 1 for v in g.nodes}, f=1,
+            faulty=[2], adversary=EIGEquivocatingAdversary(), channel=P2P,
+        )
+        assert not (res.agreement and res.validity)
+
+    def test_k3_f1_fine_under_local_broadcast_algorithm(self):
+        from repro.consensus import algorithm1_factory
+        from repro.net import TamperForwardAdversary
+
+        g = complete_graph(3)
+        res = run_consensus(
+            g, algorithm1_factory(g, 1), {v: 1 for v in g.nodes}, f=1,
+            faulty=[2], adversary=TamperForwardAdversary(),
+        )
+        assert res.consensus and res.decision == 1
+
+
+class TestDolevEIG:
+    def test_incomplete_graph_relay(self):
+        g = circulant_graph(7, [1, 2])  # kappa = 4 >= 2f+1 = 3, n = 7 >= 4
+        res = run_consensus(
+            g, dolev_eig_factory(g, 1), {v: v % 2 for v in g.nodes}, f=1,
+            faulty=[3], adversary=EIGEquivocatingAdversary(), channel=P2P,
+        )
+        assert res.consensus
+
+    def test_validity_all_same(self):
+        g = circulant_graph(7, [1, 2])
+        res = run_consensus(
+            g, dolev_eig_factory(g, 1), {v: 1 for v in g.nodes}, f=1,
+            faulty=[5], adversary=WrongInputAdversary(), channel=P2P,
+        )
+        assert res.consensus and res.decision == 1
+
+    def test_silent_fault(self):
+        g = circulant_graph(7, [1, 2])
+        res = run_consensus(
+            g, dolev_eig_factory(g, 1), {v: 0 for v in g.nodes}, f=1,
+            faulty=[2], adversary=SilentAdversary(), channel=P2P,
+        )
+        assert res.consensus and res.decision == 0
+
+    def test_rounds_budget(self):
+        g = circulant_graph(7, [1, 2])
+        p = DolevEIGProtocol(g, 0, 1, 0)
+        assert p.total_rounds == 2 * 7  # (f+1) super-rounds of n
+
+    def test_works_on_complete_graph_too(self):
+        g = complete_graph(4)
+        res = run_consensus(
+            g, dolev_eig_factory(g, 1), {0: 0, 1: 1, 2: 1, 3: 0}, f=1,
+            faulty=[1], adversary=SilentAdversary(), channel=P2P,
+        )
+        assert res.consensus

@@ -1,0 +1,223 @@
+"""Theorem 4.1/5.1, Dolev, and Theorem 6.1 condition checkers."""
+
+import pytest
+
+from repro.consensus import (
+    check_hybrid,
+    check_local_broadcast,
+    check_point_to_point,
+    hybrid_threshold_connectivity,
+    local_broadcast_threshold_connectivity,
+    max_f_hybrid,
+    max_f_local_broadcast,
+    max_f_point_to_point,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    degree_deficient_graph,
+    harary_graph,
+    hybrid_neighborhood_deficient_graph,
+    low_connectivity_graph,
+    paper_figure_1a,
+    paper_figure_1b,
+    path_graph,
+    petersen_graph,
+    star_graph,
+)
+
+
+class TestThresholds:
+    @pytest.mark.parametrize(
+        "f,expected", [(0, 1), (1, 2), (2, 4), (3, 5), (4, 7), (5, 8)]
+    )
+    def test_local_broadcast_connectivity_formula(self, f, expected):
+        assert local_broadcast_threshold_connectivity(f) == expected
+
+    @pytest.mark.parametrize(
+        "f,t,expected",
+        [
+            (2, 0, 4),   # local broadcast bound
+            (2, 1, 4),   # floor(3/2) + 2 + 1
+            (2, 2, 5),   # point-to-point bound 2f + 1
+            (3, 0, 5),
+            (3, 1, 6),
+            (3, 2, 6),
+            (3, 3, 7),
+            (4, 0, 7),
+            (4, 4, 9),
+        ],
+    )
+    def test_hybrid_connectivity_formula(self, f, t, expected):
+        assert hybrid_threshold_connectivity(f, t) == expected
+
+    def test_hybrid_interpolates_between_models(self):
+        for f in range(1, 8):
+            assert hybrid_threshold_connectivity(f, 0) == (
+                local_broadcast_threshold_connectivity(f)
+            )
+            assert hybrid_threshold_connectivity(f, f) == 2 * f + 1
+            values = [hybrid_threshold_connectivity(f, t) for t in range(f + 1)]
+            assert values == sorted(values)  # monotone in t
+
+    def test_hybrid_threshold_rejects_bad_t(self):
+        with pytest.raises(ValueError):
+            hybrid_threshold_connectivity(2, 3)
+
+
+class TestLocalBroadcast:
+    @pytest.mark.parametrize(
+        "graph,f,feasible",
+        [
+            (paper_figure_1a(), 1, True),    # Figure 1(a)
+            (paper_figure_1a(), 2, False),
+            (paper_figure_1b(), 2, True),    # Figure 1(b)
+            (paper_figure_1b(), 3, False),
+            (cycle_graph(4), 1, True),
+            (complete_graph(3), 1, True),    # K_{2f+1}
+            (complete_graph(5), 2, True),
+            (complete_graph(4), 2, False),   # degree 3 < 4
+            (petersen_graph(), 1, True),
+            (petersen_graph(), 2, False),    # degree 3 < 4
+            (path_graph(4), 1, False),       # degree 1 < 2
+            (star_graph(5), 1, False),
+        ],
+    )
+    def test_known_feasibility(self, graph, f, feasible):
+        assert check_local_broadcast(graph, f).feasible is feasible
+
+    def test_f_zero_only_needs_connectivity(self):
+        assert check_local_broadcast(path_graph(3), 0).feasible
+        from repro.graphs import Graph
+
+        assert not check_local_broadcast(Graph(nodes=[0, 1]), 0).feasible
+
+    def test_failing_clause_identified(self):
+        report = check_local_broadcast(degree_deficient_graph(1), 1)
+        assert not report.feasible
+        assert any("degree" in c.name for c in report.failing())
+
+    def test_connectivity_clause_identified(self):
+        report = check_local_broadcast(low_connectivity_graph(2), 2)
+        names = [c.name for c in report.failing()]
+        assert names == ["connectivity >= floor(3f/2) + 1"]
+
+    def test_report_str_mentions_verdict(self):
+        text = str(check_local_broadcast(paper_figure_1a(), 1))
+        assert "FEASIBLE" in text
+        assert "minimum degree" in text
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ValueError):
+            check_local_broadcast(cycle_graph(4), -1)
+
+
+class TestPointToPoint:
+    @pytest.mark.parametrize(
+        "graph,f,feasible",
+        [
+            (complete_graph(4), 1, True),
+            (complete_graph(3), 1, False),   # n < 3f+1
+            (complete_graph(7), 2, True),
+            (complete_graph(6), 2, False),
+            (paper_figure_1a(), 1, False),   # kappa 2 < 3
+            (harary_graph(3, 7), 1, True),
+        ],
+    )
+    def test_known_feasibility(self, graph, f, feasible):
+        assert check_point_to_point(graph, f).feasible is feasible
+
+    def test_paper_headline_gap(self):
+        """Graphs feasible under local broadcast but provably not p2p."""
+        for g in [paper_figure_1a(), paper_figure_1b(), complete_graph(3)]:
+            f = 1 if g.n <= 5 else 2
+            assert check_local_broadcast(g, f).feasible
+            assert not check_point_to_point(g, f).feasible
+
+
+class TestHybrid:
+    def test_t_zero_equals_local_broadcast(self):
+        for g in [paper_figure_1a(), complete_graph(5), cycle_graph(4)]:
+            for f in (1, 2):
+                assert (
+                    check_hybrid(g, f, 0).feasible
+                    == check_local_broadcast(g, f).feasible
+                )
+
+    def test_t_equals_f_matches_point_to_point_on_families(self):
+        # Theorem 6.1 at t = f: kappa >= 2f+1 and |N(S)| >= 2f+1 for small
+        # S, which on these families coincides with n >= 3f+1 + kappa bound.
+        for g in [complete_graph(4), complete_graph(7), complete_graph(3),
+                  complete_graph(6), harary_graph(3, 7)]:
+            for f in (1, 2):
+                if f > (g.n - 1) // 3 + 1:
+                    continue
+                assert (
+                    check_hybrid(g, f, f).feasible
+                    == check_point_to_point(g, f).feasible
+                ), (g, f)
+
+    def test_condition_iii_detects_small_neighborhoods(self):
+        g = hybrid_neighborhood_deficient_graph(2, 1)
+        report = check_hybrid(g, 2, 1)
+        assert not report.feasible
+        assert any("neighbors" in c.name for c in report.failing())
+
+    def test_k4_f1_t1(self):
+        assert check_hybrid(complete_graph(4), 1, 1).feasible
+        assert not check_hybrid(complete_graph(3), 1, 1).feasible
+
+    def test_invalid_t_rejected(self):
+        with pytest.raises(ValueError):
+            check_hybrid(complete_graph(4), 1, 2)
+
+
+class TestMaxF:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (paper_figure_1a(), 1),
+            (paper_figure_1b(), 2),
+            (complete_graph(5), 2),
+            (complete_graph(7), 3),
+            (path_graph(5), 0),
+            (petersen_graph(), 1),
+        ],
+    )
+    def test_max_f_local_broadcast(self, graph, expected):
+        assert max_f_local_broadcast(graph) == expected
+
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (complete_graph(4), 1),
+            (complete_graph(7), 2),
+            (complete_graph(10), 3),
+            (paper_figure_1a(), 0),
+        ],
+    )
+    def test_max_f_point_to_point(self, graph, expected):
+        assert max_f_point_to_point(graph) == expected
+
+    def test_local_broadcast_dominates_p2p(self):
+        """The paper's claim: LB never tolerates fewer faults than p2p."""
+        for g in [
+            complete_graph(4),
+            complete_graph(7),
+            paper_figure_1a(),
+            paper_figure_1b(),
+            petersen_graph(),
+            harary_graph(4, 9),
+        ]:
+            assert max_f_local_broadcast(g) >= max_f_point_to_point(g)
+
+    def test_max_f_hybrid_monotone_in_t(self):
+        g = complete_graph(7)
+        values = [max_f_hybrid(g, t) for t in range(3)]
+        assert values[0] >= values[1] >= values[2]
+        assert values[0] == 3  # local broadcast on K7
+        assert max_f_hybrid(g, 2) == 2
+
+    def test_max_f_hybrid_infeasible_marker(self):
+        g = cycle_graph(5)
+        assert max_f_hybrid(g, 1) == 0  # below t: no valid f

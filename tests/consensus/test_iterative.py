@@ -1,0 +1,122 @@
+"""W-MSR iterative baseline: robustness checker and the §2 contrast."""
+
+import pytest
+
+from repro.consensus import (
+    algorithm1_factory,
+    check_local_broadcast,
+    is_r_robust,
+    max_robustness,
+    run_consensus,
+    run_wmsr,
+    wmsr_requirement,
+)
+from repro.graphs import (
+    complete_graph,
+    cycle_graph,
+    paper_figure_1a,
+    path_graph,
+    star_graph,
+    wheel_graph,
+)
+from repro.net import TamperForwardAdversary
+
+INPUTS = {0: 0.0, 1: 1.0, 2: 0.2, 3: 0.8, 4: 0.5}
+PIN_HIGH = {0: (lambda r: 100.0)}
+
+
+class TestRobustness:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (complete_graph(3), 2),
+            (complete_graph(5), 3),
+            (cycle_graph(5), 1),
+            (cycle_graph(4), 1),
+            (path_graph(4), 1),
+            (star_graph(3), 1),
+            (wheel_graph(5), 2),
+        ],
+    )
+    def test_max_robustness_known_values(self, graph, expected):
+        assert max_robustness(graph) == expected
+
+    def test_robustness_monotone(self):
+        g = complete_graph(5)
+        top = max_robustness(g)
+        for r in range(top + 1):
+            assert is_r_robust(g, r)
+        assert not is_r_robust(g, top + 1)
+
+    def test_zero_robustness_trivial(self):
+        assert is_r_robust(cycle_graph(3), 0)
+
+    def test_requirement_formula(self):
+        assert wmsr_requirement(1) == 3
+        assert wmsr_requirement(2) == 5
+
+
+class TestWMSRDynamics:
+    def test_fault_free_convergence_on_robust_graph(self, k5):
+        res = run_wmsr(k5, INPUTS, f=1, rounds=80)
+        assert res.converged
+        assert res.within_initial_range(INPUTS)
+
+    def test_fault_free_c5_still_clusters(self, c5):
+        """Below the robustness bar the trimming dynamics cluster even
+        with zero faults — the iterative restriction alone costs the
+        convergence that Algorithm 1 gets for free on this graph."""
+        res = run_wmsr(c5, INPUTS, f=1, rounds=80)
+        assert not res.converged
+        assert res.within_initial_range(INPUTS)
+
+    def test_k5_converges_under_attack(self, k5):
+        res = run_wmsr(k5, INPUTS, f=1, rounds=80, faulty=PIN_HIGH)
+        assert res.converged
+        assert res.within_initial_range(INPUTS)
+
+    def test_c5_stalls_under_attack(self, c5):
+        """C5 is 1-robust < 3 = 2f+1: the pinned node never moves and
+        approximate agreement fails."""
+        res = run_wmsr(c5, INPUTS, f=1, rounds=100, faulty=PIN_HIGH)
+        assert not res.converged
+        assert res.final_range >= 0.2
+        # Safety still holds (trimming keeps states in the honest hull).
+        assert res.within_initial_range(INPUTS)
+
+    def test_history_shape(self, k5):
+        res = run_wmsr(k5, INPUTS, f=1, rounds=10, faulty=PIN_HIGH)
+        assert all(len(h) == 11 for h in res.history.values())
+        assert sorted(res.honest) == [1, 2, 3, 4]
+
+    def test_too_many_faults_rejected(self, c5):
+        with pytest.raises(ValueError):
+            run_wmsr(c5, INPUTS, f=1, rounds=5,
+                     faulty={0: lambda r: 1.0, 1: lambda r: 0.0})
+
+
+class TestSection2Contrast:
+    def test_exact_beats_iterative_on_c5(self, c5):
+        """The paper's point: C5 satisfies the exact-consensus conditions
+        (Theorem 5.1) yet falls short of W-MSR's robustness requirement —
+        the restriction to iterative dynamics costs real tolerance."""
+        assert check_local_broadcast(c5, 1).feasible
+        assert max_robustness(c5) < wmsr_requirement(1)
+
+        exact = run_consensus(
+            c5, algorithm1_factory(c5, 1), {v: v % 2 for v in c5.nodes},
+            f=1, faulty=[0], adversary=TamperForwardAdversary(),
+        )
+        assert exact.consensus  # exact agreement, finite time
+
+        approx = run_wmsr(c5, INPUTS, f=1, rounds=100, faulty=PIN_HIGH)
+        assert not approx.converged  # not even approximate agreement
+
+    def test_iterative_needs_more_than_tight_conditions(self):
+        """Graphs at the exact-consensus threshold are below the W-MSR
+        threshold; K_{2f+1} clears both."""
+        for g in [paper_figure_1a(), cycle_graph(4)]:
+            assert check_local_broadcast(g, 1).feasible
+            assert max_robustness(g) < wmsr_requirement(1)
+        assert max_robustness(complete_graph(3)) >= wmsr_requirement(1) - 1
+        assert max_robustness(complete_graph(5)) >= wmsr_requirement(1)

@@ -1,0 +1,98 @@
+"""The experiment runner: wiring, verdicts, and input validation."""
+
+import pytest
+
+from repro.consensus import algorithm1_factory, run_consensus
+from repro.graphs import cycle_graph
+from repro.net import SilentAdversary, TamperForwardAdversary
+
+
+class TestValidation:
+    def test_unknown_faulty_node(self, c5):
+        with pytest.raises(ValueError):
+            run_consensus(
+                c5, algorithm1_factory(c5, 1), {v: 0 for v in c5.nodes},
+                f=1, faulty=[99], adversary=SilentAdversary(),
+            )
+
+    def test_too_many_faults(self, c5):
+        with pytest.raises(ValueError):
+            run_consensus(
+                c5, algorithm1_factory(c5, 1), {v: 0 for v in c5.nodes},
+                f=1, faulty=[0, 1], adversary=SilentAdversary(),
+            )
+
+    def test_adversary_required(self, c5):
+        with pytest.raises(ValueError):
+            run_consensus(
+                c5, algorithm1_factory(c5, 1), {v: 0 for v in c5.nodes},
+                f=1, faulty=[0],
+            )
+
+    def test_missing_inputs(self, c5):
+        with pytest.raises(ValueError):
+            run_consensus(c5, algorithm1_factory(c5, 1), {0: 1}, f=1)
+
+
+class TestVerdicts:
+    def test_result_fields(self, c5):
+        res = run_consensus(
+            c5, algorithm1_factory(c5, 1), {v: v % 2 for v in c5.nodes},
+            f=1, faulty=[4], adversary=TamperForwardAdversary(),
+        )
+        assert res.honest == frozenset({0, 1, 2, 3})
+        assert res.faulty == frozenset({4})
+        assert res.honest_inputs == {0: 0, 1: 1, 2: 0, 3: 1}
+        assert res.terminated
+        assert res.transmissions > 0
+        assert res.deliveries >= res.transmissions
+
+    def test_decision_none_without_agreement(self, c5):
+        res = run_consensus(
+            c5, algorithm1_factory(c5, 1), {v: 0 for v in c5.nodes}, f=1
+        )
+        assert res.agreement and res.decision == 0
+
+    def test_validity_uses_honest_inputs_only(self, c5):
+        # All honest nodes hold 0; the faulty node's input 1 is not a
+        # legal output.
+        inputs = {v: 0 for v in c5.nodes}
+        inputs[2] = 1
+        res = run_consensus(
+            c5, algorithm1_factory(c5, 1), inputs, f=1,
+            faulty=[2], adversary=TamperForwardAdversary(),
+        )
+        assert res.validity and res.decision == 0
+
+    def test_honest_outputs_view(self, c5):
+        res = run_consensus(
+            c5, algorithm1_factory(c5, 1), {v: 1 for v in c5.nodes}, f=1,
+            faulty=[0], adversary=SilentAdversary(),
+        )
+        assert set(res.honest_outputs) == {1, 2, 3, 4}
+
+    def test_non_termination_reported_not_raised(self):
+        """A protocol that never decides yields terminated=False."""
+        from repro.net import Protocol
+
+        class Never(Protocol):
+            total_rounds = 3
+
+            def on_round(self, ctx):
+                return
+
+            def output(self):
+                return None
+
+        g = cycle_graph(3)
+        res = run_consensus(g, lambda v, x: Never(), {v: 0 for v in g.nodes}, f=0)
+        assert not res.terminated
+        assert not res.agreement
+        assert not res.consensus
+
+    def test_explicit_max_rounds(self, c5):
+        res = run_consensus(
+            c5, algorithm1_factory(c5, 1), {v: 0 for v in c5.nodes}, f=1,
+            max_rounds=30,
+        )
+        assert res.consensus

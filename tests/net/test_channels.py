@@ -1,0 +1,46 @@
+"""Channel models: who may unicast, and enforcement plumbing."""
+
+import pytest
+
+from repro.net import (
+    ChannelModel,
+    hybrid_model,
+    local_broadcast_model,
+    point_to_point_model,
+)
+
+
+class TestChannelModel:
+    def test_local_broadcast_blocks_everyone(self):
+        ch = local_broadcast_model()
+        assert ch.kind == "local_broadcast"
+        assert not ch.may_unicast(0)
+        assert not ch.may_unicast("anyone")
+
+    def test_point_to_point_allows_everyone(self):
+        ch = point_to_point_model()
+        assert ch.may_unicast(0)
+        assert ch.may_unicast("x")
+
+    def test_hybrid_allows_only_equivocators(self):
+        ch = hybrid_model({3, 5})
+        assert ch.may_unicast(3)
+        assert ch.may_unicast(5)
+        assert not ch.may_unicast(0)
+
+    def test_hybrid_empty_is_effectively_local_broadcast(self):
+        ch = hybrid_model(set())
+        assert not ch.may_unicast(1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelModel("telepathy")
+
+    def test_equivocators_only_for_hybrid(self):
+        with pytest.raises(ValueError):
+            ChannelModel("local_broadcast", frozenset({1}))
+
+    def test_frozen(self):
+        ch = local_broadcast_model()
+        with pytest.raises(AttributeError):
+            ch.kind = "point_to_point"

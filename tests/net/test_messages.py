@@ -1,0 +1,57 @@
+"""Message types: shapes, hashing, validation."""
+
+import pytest
+
+from repro.net import (
+    DecisionPayload,
+    DirectMessage,
+    FloodMessage,
+    ReportPayload,
+    ValuePayload,
+)
+
+
+class TestFloodMessage:
+    def test_extended_by(self):
+        m = FloodMessage(phase=1, payload=ValuePayload(0), path=(1, 2))
+        assert m.extended_by(3) == (1, 2, 3)
+
+    def test_empty_path_extension(self):
+        m = FloodMessage(1, ValuePayload(1), ())
+        assert m.extended_by(5) == (5,)
+
+    def test_hashable_and_equal(self):
+        a = FloodMessage(1, ValuePayload(0), (1,))
+        b = FloodMessage(1, ValuePayload(0), (1,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_phase_distinguishes(self):
+        a = FloodMessage(("x", 1), ValuePayload(0), ())
+        b = FloodMessage(("x", 2), ValuePayload(0), ())
+        assert a != b
+
+    def test_frozen(self):
+        m = FloodMessage(1, ValuePayload(0), ())
+        with pytest.raises(AttributeError):
+            m.payload = ValuePayload(1)
+
+
+class TestPayloads:
+    def test_value_payload_validates(self):
+        assert ValuePayload(0).value == 0
+        assert ValuePayload(1).value == 1
+        with pytest.raises(ValueError):
+            ValuePayload(2)
+
+    def test_decision_payload(self):
+        assert DecisionPayload(1).value == 1
+
+    def test_report_payload_fields(self):
+        r = ReportPayload(reporter=1, subject=2, payload=ValuePayload(0), path=())
+        assert r.reporter == 1 and r.subject == 2
+
+    def test_direct_message_default_payload(self):
+        d = DirectMessage(tag="ping")
+        assert d.payload is None

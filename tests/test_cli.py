@@ -1,0 +1,65 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.__main__ import main, parse_graph
+from repro.graphs import cycle_graph, paper_figure_1b, petersen_graph
+
+
+class TestParseGraph:
+    def test_families(self):
+        assert parse_graph("cycle:5") == cycle_graph(5)
+        assert parse_graph("petersen") == petersen_graph()
+        assert parse_graph("fig1b") == paper_figure_1b()
+        assert parse_graph("circulant:8:1,2") == paper_figure_1b()
+        assert parse_graph("complete:4").n == 4
+        assert parse_graph("harary:3:8").min_degree() == 3
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            parse_graph("doughnut:5")
+
+
+class TestCommands:
+    def test_check(self, capsys):
+        assert main(["check", "--graph", "fig1a", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "FEASIBLE" in out
+        assert "max f (local broadcast): 1" in out
+
+    def test_check_hybrid(self, capsys):
+        assert main(["check", "--graph", "complete:4", "--f", "1", "--t", "1"]) == 0
+        assert "hybrid" in capsys.readouterr().out
+
+    def test_run_no_faults(self, capsys):
+        assert main(["run", "--graph", "cycle:4", "--f", "1",
+                     "--algorithm", "2"]) == 0
+        assert "agreement     : True" in capsys.readouterr().out
+
+    def test_run_with_fault(self, capsys):
+        code = main([
+            "run", "--graph", "cycle:5", "--f", "1", "--algorithm", "1",
+            "--faulty", "2", "--adversary", "tamper-forward",
+        ])
+        assert code == 0
+        assert "validity      : True" in capsys.readouterr().out
+
+    def test_run_unknown_adversary(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--graph", "cycle:5", "--f", "1",
+                  "--faulty", "0", "--adversary", "mind-control"])
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--max-f", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "kappa LB" in out
+
+    def test_demo_impossibility_degree(self, capsys):
+        assert main(["demo-impossibility", "--kind", "degree", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "violation demonstrated" in out
+
+    def test_demo_impossibility_connectivity(self, capsys):
+        code = main(["demo-impossibility", "--kind", "connectivity",
+                     "--f", "2"])
+        assert code == 0
