@@ -5,12 +5,13 @@ Usage::
     python -m repro check --graph cycle:5 --f 1 [--t 1]
     python -m repro run   --graph cycle:5 --f 1 --algorithm 1 \
                           --faulty 3 --adversary tamper-forward
+    python -m repro sweep --graph cycle:5 --f 1 --workers 2
     python -m repro compare --max-f 5
     python -m repro demo-impossibility --kind degree --f 1
 
 Graph specs: ``cycle:N``, ``complete:N``, ``path:N``, ``wheel:N``,
 ``circulant:N:d1,d2``, ``harary:K:N``, ``petersen``, ``fig1a``,
-``fig1b``.
+``fig1b``, ``random_regular:N:D[:SEED]``, ``gnp:N[:C[:SEED]]``.
 """
 
 from __future__ import annotations
@@ -54,6 +55,13 @@ def parse_graph(spec: str) -> graphs.Graph:
         return graphs.paper_figure_1a()
     if family == "fig1b":
         return graphs.paper_figure_1b()
+    if family == "random_regular":
+        seed = int(parts[3]) if len(parts) > 3 else 0
+        return graphs.random_regular_graph(int(parts[1]), int(parts[2]), seed)
+    if family in ("gnp", "gnp_supercritical"):
+        c = float(parts[2]) if len(parts) > 2 else 2.0
+        seed = int(parts[3]) if len(parts) > 3 else 0
+        return graphs.gnp_supercritical_graph(int(parts[1]), c, seed)
     raise SystemExit(f"unknown graph spec {spec!r}")
 
 
@@ -113,6 +121,47 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0 if result.consensus else 1
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis import consensus_sweep
+
+    graph = parse_graph(args.graph)
+    if args.algorithm == "1":
+        factory = consensus.algorithm1_factory(graph, args.f)
+    elif args.algorithm == "2":
+        factory = consensus.algorithm2_factory(graph, args.f)
+    elif args.algorithm == "3":
+        factory = consensus.algorithm3_factory(graph, args.f, args.t or 0)
+    else:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    patterns = args.patterns.split(",") if args.patterns else None
+    if patterns is not None:
+        from .analysis import input_patterns
+
+        known = sorted(input_patterns(graph))
+        unknown = [p for p in patterns if p not in known]
+        if unknown:
+            raise SystemExit(
+                f"unknown input patterns {unknown}; choose from {known}"
+            )
+    report = consensus_sweep(
+        graph,
+        factory,
+        f=args.f,
+        fault_limit=args.fault_limit,
+        patterns=patterns,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    text = report.to_json(graph=args.graph, f=args.f, workers=args.workers)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {report.runs} records to {args.output}")
+    else:
+        print(text)
+    return 0 if report.all_consensus else 1
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     print(f"{'f':>3} {'kappa p2p':>10} {'kappa LB':>9} "
           f"{'min n p2p':>10} {'min n LB':>9}")
@@ -164,6 +213,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated node indices")
     p.add_argument("--adversary", default="tamper-forward")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run the adversary battery over every fault placement "
+             "and emit a JSON report",
+    )
+    p.add_argument("--graph", required=True)
+    p.add_argument("--f", type=int, required=True)
+    p.add_argument("--t", type=int, default=None)
+    p.add_argument("--algorithm", default="1", choices=["1", "2", "3"])
+    p.add_argument("--workers", type=int, default=1,
+                   help="process fan-out (1 = serial; report is identical)")
+    p.add_argument("--fault-limit", type=int, default=None,
+                   help="seeded sample size of fault subsets")
+    p.add_argument("--patterns", default="",
+                   help="comma-separated input-pattern names "
+                        "(default: all four)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="",
+                   help="write the JSON report here instead of stdout")
+    p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("compare", help="print the model-requirement table")
     p.add_argument("--max-f", type=int, default=5)

@@ -18,9 +18,11 @@ from .requirements import (
 from .sweep import (
     SweepRecord,
     SweepReport,
+    SweepTask,
     consensus_sweep,
     fault_subsets,
     input_patterns,
+    sweep_tasks,
 )
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "RequirementRow",
     "SweepRecord",
     "SweepReport",
+    "SweepTask",
     "consensus_sweep",
     "equivocation_price",
     "expected_flood_deliveries",
@@ -40,4 +43,5 @@ __all__ = [
     "predicted_costs",
     "requirement_table",
     "smallest_feasible_complete_graph",
+    "sweep_tasks",
 ]

@@ -5,21 +5,40 @@ concrete: "consensus holds for every fault placement and every adversary
 we model".  :func:`consensus_sweep` enumerates fault subsets (all of
 them, or a seeded sample) and runs the full adversary battery on each,
 collecting a single verdict plus per-run records for reporting.
+
+The sweep is organized as a flat, canonically ordered work-list of
+``(faulty, adversary, pattern)`` tasks (:func:`sweep_tasks`).  Each task
+is a pure function of its inputs, so the engine can execute them in any
+order — serially (``workers=1``, the default) or fanned out across a
+seeded :class:`~concurrent.futures.ProcessPoolExecutor`
+(``workers=N``) — and still assemble a **byte-identical**
+:class:`SweepReport`: results stream back as workers finish and are
+slotted into the canonical position their task index dictates.
+
+Cross-process determinism rests on two properties the library maintains
+deliberately: every run-affecting iteration is ``repr``-sorted (never
+raw set order, which would leak each worker's ``PYTHONHASHSEED``), and
+all randomness is seeded per task, never drawn from shared mutable
+state.  Contexts that cannot be pickled (e.g. an ad-hoc adversary built
+around a lambda) fall back to the serial path with a warning rather than
+failing — the report is identical either way.
 """
 
 from __future__ import annotations
 
+import json
+import pickle
 import random
-from dataclasses import dataclass, field
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass, field
 from itertools import combinations
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from ..consensus.runner import run_consensus
-from ..net.adversary import Adversary, standard_adversaries
+from ..net.adversary import Adversary, HonestFactory, standard_adversaries
 from ..net.channels import ChannelModel
 from ..graphs import Graph
-
-HonestFactory = callable
 
 
 @dataclass(frozen=True)
@@ -63,6 +82,25 @@ class SweepReport:
     def max_rounds(self) -> int:
         return max((r.rounds for r in self.records), default=0)
 
+    def to_dict(self) -> dict:
+        """A JSON-ready summary plus every record (canonical order)."""
+        return {
+            "runs": self.runs,
+            "all_consensus": self.all_consensus,
+            "failures": len(self.failures),
+            "max_rounds": self.max_rounds,
+            "max_transmissions": self.max_transmissions,
+            "records": [asdict(r) for r in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = 2, **extra) -> str:
+        """Serialize :meth:`to_dict`; non-JSON node labels fall back to
+        ``repr`` so any hashable node type survives the round trip.
+        ``extra`` keys (e.g. the CLI's graph spec and worker count) are
+        merged into the payload so every producer shares one policy."""
+        payload = {**self.to_dict(), **extra}
+        return json.dumps(payload, indent=indent, sort_keys=True, default=repr)
+
 
 def input_patterns(graph: Graph) -> Dict[str, Dict[Hashable, int]]:
     """The canonical input assignments every sweep exercises."""
@@ -100,17 +138,124 @@ def fault_subsets(
     return subsets
 
 
+# ---------------------------------------------------------------------------
+# The work-list engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of sweep work, addressed by its canonical ``index``.
+
+    Deliberately tiny and picklable: the heavyweight, shared inputs
+    (graph, factory, adversary battery, patterns) travel to each worker
+    exactly once via the pool initializer; tasks only name which
+    combination to run.
+    """
+
+    index: int
+    faulty: Tuple[Hashable, ...]
+    adversary_index: int
+    inputs_name: str
+
+
+@dataclass(frozen=True)
+class _SweepContext:
+    """Everything a worker needs to execute any task of one sweep."""
+
+    graph: Graph
+    honest_factory: HonestFactory
+    f: int
+    adversaries: Tuple[Adversary, ...]
+    patterns: Dict[str, Dict[Hashable, int]]
+    channel: Optional[ChannelModel]
+
+
+def sweep_tasks(
+    graph: Graph,
+    f: int,
+    adversaries: Sequence[Adversary],
+    patterns: Dict[str, Dict[Hashable, int]],
+    fault_limit: Optional[int] = None,
+    seed: int = 0,
+) -> List[SweepTask]:
+    """The canonical work-list: fault subsets × adversaries × patterns.
+
+    The nesting order (faults outermost, patterns innermost) is the
+    report's record order — a pure function of the arguments, never of
+    execution schedule.
+    """
+    tasks: List[SweepTask] = []
+    for faulty in fault_subsets(graph, f, limit=fault_limit, seed=seed):
+        for adversary_index in range(len(adversaries)):
+            for name in patterns:
+                tasks.append(
+                    SweepTask(len(tasks), tuple(faulty), adversary_index, name)
+                )
+    return tasks
+
+
+def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
+    """Run one task to a :class:`SweepRecord` (pure given its inputs)."""
+    adversary = context.adversaries[task.adversary_index]
+    result = run_consensus(
+        context.graph,
+        context.honest_factory,
+        context.patterns[task.inputs_name],
+        f=context.f,
+        faulty=task.faulty,
+        adversary=adversary,
+        channel=context.channel,
+    )
+    return SweepRecord(
+        faulty=task.faulty,
+        adversary=adversary.name,
+        inputs_name=task.inputs_name,
+        consensus=result.consensus,
+        agreement=result.agreement,
+        validity=result.validity,
+        rounds=result.rounds,
+        transmissions=result.transmissions,
+        decision=result.decision,
+    )
+
+
+# Per-worker context, installed once by the pool initializer so each task
+# submission only ships a SweepTask.  (Module-level state is required for
+# ProcessPoolExecutor initializers; it is only ever set in workers.)
+_WORKER_CONTEXT: Optional[_SweepContext] = None
+
+
+def _worker_init(payload: bytes) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = pickle.loads(payload)
+
+
+def _worker_run(task: SweepTask) -> Tuple[int, SweepRecord]:
+    assert _WORKER_CONTEXT is not None, "worker used before initialization"
+    return task.index, _execute_task(_WORKER_CONTEXT, task)
+
+
 def consensus_sweep(
     graph: Graph,
-    honest_factory,
+    honest_factory: HonestFactory,
     f: int,
     adversaries: Optional[Sequence[Adversary]] = None,
     channel: Optional[ChannelModel] = None,
     fault_limit: Optional[int] = None,
     patterns: Optional[Iterable[str]] = None,
     seed: int = 0,
+    workers: int = 1,
 ) -> SweepReport:
-    """Run the full battery and report whether consensus *always* held."""
+    """Run the full battery and report whether consensus *always* held.
+
+    ``workers=1`` (default) executes the work-list serially in canonical
+    order.  ``workers=N`` fans the same work-list out across ``N``
+    processes and streams the records back into canonical slots — the
+    returned report is record-for-record identical to the serial one.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     adversaries = (
         list(adversaries) if adversaries is not None else standard_adversaries(seed)
     )
@@ -118,30 +263,42 @@ def consensus_sweep(
     chosen = (
         {k: all_patterns[k] for k in patterns} if patterns is not None else all_patterns
     )
-    report = SweepReport()
-    for faulty in fault_subsets(graph, f, limit=fault_limit, seed=seed):
-        for adversary in adversaries:
-            for name, inputs in chosen.items():
-                result = run_consensus(
-                    graph,
-                    honest_factory,
-                    inputs,
-                    f=f,
-                    faulty=faulty,
-                    adversary=adversary,
-                    channel=channel,
-                )
-                report.records.append(
-                    SweepRecord(
-                        faulty=tuple(faulty),
-                        adversary=adversary.name,
-                        inputs_name=name,
-                        consensus=result.consensus,
-                        agreement=result.agreement,
-                        validity=result.validity,
-                        rounds=result.rounds,
-                        transmissions=result.transmissions,
-                        decision=result.decision,
-                    )
-                )
-    return report
+    tasks = sweep_tasks(
+        graph, f, adversaries, chosen, fault_limit=fault_limit, seed=seed
+    )
+    context = _SweepContext(
+        graph=graph,
+        honest_factory=honest_factory,
+        f=f,
+        adversaries=tuple(adversaries),
+        patterns=chosen,
+        channel=channel,
+    )
+
+    payload: Optional[bytes] = None
+    if workers > 1 and tasks:
+        try:
+            payload = pickle.dumps(context)
+        except Exception as exc:  # lambda-laden adversaries, ad-hoc factories
+            warnings.warn(
+                f"sweep context is not picklable ({exc!r}); "
+                "falling back to the serial path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    if payload is None:
+        return SweepReport(records=[_execute_task(context, t) for t in tasks])
+
+    records: List[Optional[SweepRecord]] = [None] * len(tasks)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        initializer=_worker_init,
+        initargs=(payload,),
+    ) as pool:
+        futures = [pool.submit(_worker_run, task) for task in tasks]
+        for future in as_completed(futures):
+            index, record = future.result()
+            records[index] = record
+    assert all(r is not None for r in records)
+    return SweepReport(records=list(records))  # type: ignore[arg-type]

@@ -16,6 +16,7 @@
 """
 
 from .algorithm1 import (
+    Algorithm1Factory,
     Algorithm1Protocol,
     ExactConsensusProtocol,
     algorithm1_factory,
@@ -23,8 +24,8 @@ from .algorithm1 import (
     candidate_pairs,
     phase_count,
 )
-from .algorithm2 import Algorithm2Protocol, algorithm2_factory, majority
-from .algorithm3 import Algorithm3Protocol, algorithm3_factory
+from .algorithm2 import Algorithm2Factory, Algorithm2Protocol, algorithm2_factory, majority
+from .algorithm3 import Algorithm3Factory, Algorithm3Protocol, algorithm3_factory
 from .baselines import (
     DolevEIGProtocol,
     EIGEquivocatingAdversary,
@@ -53,12 +54,16 @@ from .iterative import (
     wmsr_requirement,
 )
 from .path_engine import NodeBehavior, PathFloodEngine
+from .path_oracle import PathOracle
 from .reliable import ClaimIndex, ReportBundle, detect_faults, reliable_value
 from .runner import ConsensusResult, run_consensus
 
 __all__ = [
+    "Algorithm1Factory",
     "Algorithm1Protocol",
+    "Algorithm2Factory",
     "Algorithm2Protocol",
+    "Algorithm3Factory",
     "Algorithm3Protocol",
     "ClaimIndex",
     "Clause",
@@ -71,6 +76,7 @@ __all__ = [
     "FloodInstance",
     "NodeBehavior",
     "PathFloodEngine",
+    "PathOracle",
     "ReportBundle",
     "WMSRResult",
     "algorithm1_factory",

@@ -27,6 +27,7 @@ from ..net.messages import FloodMessage, ValuePayload
 from ..net.node import Protocol
 from .algorithm1 import ExactConsensusProtocol
 from .flooding import FloodInstance
+from .path_oracle import PathOracle
 
 PathTuple = Tuple[Hashable, ...]
 
@@ -79,13 +80,27 @@ class AblatedExactConsensus(ExactConsensusProtocol):
         return view
 
 
-def ablated_algorithm1_factory(graph: Graph, f: int):
+class AblatedAlgorithm1Factory:
+    """Picklable factory for the rule-(ii)-less Algorithm 1, sharing one
+    :class:`~repro.consensus.path_oracle.PathOracle` per graph."""
+
+    def __init__(self, graph: Graph, f: int):
+        self.graph = graph
+        self.f = f
+        self.oracle = PathOracle(graph)
+
+    def __call__(self, node: Hashable, input_value: int) -> AblatedExactConsensus:
+        return AblatedExactConsensus(
+            self.graph, node, self.f, input_value, t=0, oracle=self.oracle
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.graph, self.f))
+
+
+def ablated_algorithm1_factory(graph: Graph, f: int) -> AblatedAlgorithm1Factory:
     """Factory for the rule-(ii)-less Algorithm 1."""
-
-    def build(node: Hashable, input_value: int) -> AblatedExactConsensus:
-        return AblatedExactConsensus(graph, node, f, input_value, t=0)
-
-    return build
+    return AblatedAlgorithm1Factory(graph, f)
 
 
 class ReInitAdversary(Adversary):

@@ -32,6 +32,7 @@ from ..graphs import Graph, has_disjoint_path_packing, path_excludes
 from ..net.messages import ValuePayload
 from ..net.node import Context, Protocol
 from .flooding import FloodInstance, flood_rounds
+from .path_oracle import PathOracle
 
 CandidatePair = Tuple[FrozenSet[Hashable], FrozenSet[Hashable]]  # (F, T)
 
@@ -89,15 +90,21 @@ class ExactConsensusProtocol(Protocol):
     """
 
     def __init__(self, graph: Graph, node: Hashable, f: int, input_value: int,
-                 t: int = 0):
+                 t: int = 0, oracle: Optional[PathOracle] = None):
         if input_value not in (0, 1):
             raise ValueError("binary input expected")
         if not 0 <= t <= f:
             raise ValueError("need 0 <= t <= f")
+        if oracle is not None and oracle.graph != graph:
+            raise ValueError("oracle was built for a different graph")
         self.graph = graph
         self.me = node
         self.f = f
         self.t = t
+        # One oracle is typically shared by every instance on this graph
+        # (the factories arrange that); a private one still caches the
+        # per-phase pruned graph and BFS tree across step (b)'s n queries.
+        self.oracle = oracle if oracle is not None else PathOracle(graph)
         self.gamma = input_value
         self.pairs = candidate_pairs(graph, f, t)
         self.rounds_per_phase = flood_rounds(graph)
@@ -208,26 +215,48 @@ class ExactConsensusProtocol(Protocol):
         Lemma 5.4 (resp. D.4) guarantees existence whenever the graph
         meets the feasibility conditions; on deficient graphs (used by the
         impossibility experiments) this may return ``None`` and the caller
-        falls back to the default classification.
+        falls back to the default classification.  Delegated to the
+        (shared) :class:`~repro.consensus.path_oracle.PathOracle`, so the
+        pruned graph and BFS tree for each candidate set are computed once
+        per graph rather than once per node per phase.
         """
-        pruned = self.graph.remove_nodes(set(excluded) - {u, self.me})
-        if u not in pruned.nodes or self.me not in pruned.nodes:
-            return None
-        return pruned.shortest_path(u, self.me)
+        return self.oracle.path_excluding(u, self.me, frozenset(excluded))
 
 
 class Algorithm1Protocol(ExactConsensusProtocol):
     """Algorithm 1 (Section 5.1): the tight-condition local-broadcast
     consensus protocol.  Equivalent to the engine with ``t = 0``."""
 
-    def __init__(self, graph: Graph, node: Hashable, f: int, input_value: int):
-        super().__init__(graph, node, f, input_value, t=0)
+    def __init__(self, graph: Graph, node: Hashable, f: int, input_value: int,
+                 oracle: Optional[PathOracle] = None):
+        super().__init__(graph, node, f, input_value, t=0, oracle=oracle)
 
 
-def algorithm1_factory(graph: Graph, f: int):
+class Algorithm1Factory:
+    """Picklable honest-protocol factory: ``(node, input) → protocol``.
+
+    All protocol instances built by one factory share one
+    :class:`PathOracle`, so the per-phase pruned graphs and BFS trees are
+    computed once per *graph* instead of once per node.  Being a plain
+    class (not a closure), the factory crosses process boundaries — the
+    parallel sweep engine ships it to its workers; ``__reduce__`` of the
+    oracle keeps that cheap by dropping caches in transit.
+    """
+
+    def __init__(self, graph: Graph, f: int):
+        self.graph = graph
+        self.f = f
+        self.oracle = PathOracle(graph)
+
+    def __call__(self, node: Hashable, input_value: int) -> Algorithm1Protocol:
+        return Algorithm1Protocol(
+            self.graph, node, self.f, input_value, oracle=self.oracle
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.graph, self.f))
+
+
+def algorithm1_factory(graph: Graph, f: int) -> Algorithm1Factory:
     """An honest-protocol factory for the runner: ``(node, input) → protocol``."""
-
-    def build(node: Hashable, input_value: int) -> Algorithm1Protocol:
-        return Algorithm1Protocol(graph, node, f, input_value)
-
-    return build
+    return Algorithm1Factory(graph, f)

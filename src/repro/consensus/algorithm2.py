@@ -237,10 +237,21 @@ class Algorithm2Protocol(Protocol):
         self._output = majority([inputs[u] for u in sorted(inputs, key=repr)])
 
 
-def algorithm2_factory(graph: Graph, f: int):
+class Algorithm2Factory:
+    """Picklable honest-protocol factory: ``(node, input) → protocol``.
+
+    A plain class rather than a closure so the parallel sweep engine can
+    ship it to worker processes.
+    """
+
+    def __init__(self, graph: Graph, f: int):
+        self.graph = graph
+        self.f = f
+
+    def __call__(self, node: Hashable, input_value: int) -> Algorithm2Protocol:
+        return Algorithm2Protocol(self.graph, node, self.f, input_value)
+
+
+def algorithm2_factory(graph: Graph, f: int) -> Algorithm2Factory:
     """Honest-protocol factory for the runner: ``(node, input) → protocol``."""
-
-    def build(node: Hashable, input_value: int) -> Algorithm2Protocol:
-        return Algorithm2Protocol(graph, node, f, input_value)
-
-    return build
+    return Algorithm2Factory(graph, f)

@@ -16,25 +16,42 @@ our executable bridge between the two classical models.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Optional
 
 from ..graphs import Graph
 from .algorithm1 import ExactConsensusProtocol
+from .path_oracle import PathOracle
 
 
 class Algorithm3Protocol(ExactConsensusProtocol):
     """Algorithm 3 (hybrid model) — the engine with an equivocation budget."""
 
     def __init__(
-        self, graph: Graph, node: Hashable, f: int, t: int, input_value: int
+        self, graph: Graph, node: Hashable, f: int, t: int, input_value: int,
+        oracle: Optional[PathOracle] = None,
     ):
-        super().__init__(graph, node, f, input_value, t=t)
+        super().__init__(graph, node, f, input_value, t=t, oracle=oracle)
 
 
-def algorithm3_factory(graph: Graph, f: int, t: int):
+class Algorithm3Factory:
+    """Picklable honest-protocol factory sharing one :class:`PathOracle`
+    across all protocol instances on the graph."""
+
+    def __init__(self, graph: Graph, f: int, t: int):
+        self.graph = graph
+        self.f = f
+        self.t = t
+        self.oracle = PathOracle(graph)
+
+    def __call__(self, node: Hashable, input_value: int) -> Algorithm3Protocol:
+        return Algorithm3Protocol(
+            self.graph, node, self.f, self.t, input_value, oracle=self.oracle
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.graph, self.f, self.t))
+
+
+def algorithm3_factory(graph: Graph, f: int, t: int) -> Algorithm3Factory:
     """Honest-protocol factory for the runner: ``(node, input) → protocol``."""
-
-    def build(node: Hashable, input_value: int) -> Algorithm3Protocol:
-        return Algorithm3Protocol(graph, node, f, t, input_value)
-
-    return build
+    return Algorithm3Factory(graph, f, t)

@@ -122,13 +122,20 @@ class EIGProtocol(Protocol):
         return self._output
 
 
-def eig_factory(graph: Graph, f: int):
+class EIGFactory:
+    """Picklable honest-protocol factory for :class:`EIGProtocol`."""
+
+    def __init__(self, graph: Graph, f: int):
+        self.graph = graph
+        self.f = f
+
+    def __call__(self, node: Hashable, input_value: int) -> EIGProtocol:
+        return EIGProtocol(self.graph, node, self.f, input_value)
+
+
+def eig_factory(graph: Graph, f: int) -> EIGFactory:
     """Honest-protocol factory for :class:`EIGProtocol`."""
-
-    def build(node: Hashable, input_value: int) -> EIGProtocol:
-        return EIGProtocol(graph, node, f, input_value)
-
-    return build
+    return EIGFactory(graph, f)
 
 
 class EIGEquivocatingAdversary(Adversary):
@@ -256,10 +263,17 @@ class DolevEIGProtocol(Protocol):
                     self.tree.setdefault(label + (q,), majority(vals))
 
 
-def dolev_eig_factory(graph: Graph, f: int):
+class DolevEIGFactory:
+    """Picklable honest-protocol factory for :class:`DolevEIGProtocol`."""
+
+    def __init__(self, graph: Graph, f: int):
+        self.graph = graph
+        self.f = f
+
+    def __call__(self, node: Hashable, input_value: int) -> DolevEIGProtocol:
+        return DolevEIGProtocol(self.graph, node, self.f, input_value)
+
+
+def dolev_eig_factory(graph: Graph, f: int) -> DolevEIGFactory:
     """Honest-protocol factory for :class:`DolevEIGProtocol`."""
-
-    def build(node: Hashable, input_value: int) -> DolevEIGProtocol:
-        return DolevEIGProtocol(graph, node, f, input_value)
-
-    return build
+    return DolevEIGFactory(graph, f)

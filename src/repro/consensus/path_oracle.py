@@ -1,0 +1,170 @@
+"""Shared, memoized pruned-graph path queries for the phase engine.
+
+Algorithm 1's step (b) asks, for every phase candidate ``F`` and every
+pair ``(u, v)``, for one ``uv``-path whose internal nodes avoid ``F``.
+Run naively, each of the ``n`` protocol instances on the same graph
+re-derives the identical pruned graph ``G − F`` and re-runs a BFS per
+classified node — an O(n) redundancy factor across instances and another
+O(n) inside each instance (one BFS per origin instead of one BFS tree
+per phase).
+
+:class:`PathOracle` removes both: it memoizes
+
+* pruned graphs, keyed by the removed node set;
+* whole BFS parent trees, keyed by ``(removed set, root)`` — a single
+  tree answers *every* ``u → root`` query of a phase;
+* the resulting paths, keyed by ``(excluded, u, v)``;
+* :func:`repro.graphs.disjoint_paths_excluding` packings, keyed by
+  ``(sources, v, excluded, k)``.
+
+One oracle is meant to be shared by all protocol instances on the same
+graph — the ``algorithm*_factory`` helpers do exactly that.  All
+traversals iterate neighbors in ``repr`` order, so every answer is a pure
+function of the query (independent of ``PYTHONHASHSEED``), which the
+deterministic cross-process sweep engine relies on.
+
+The oracle deliberately drops its caches when pickled: worker processes
+rebuild them lazily, so shipping a factory to a process pool stays cheap.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+from ..graphs import Graph, disjoint_paths_excluding
+
+PathTuple = Tuple[Hashable, ...]
+
+
+class PathOracle:
+    """Memoized pruned-graph shortest paths and disjoint-path packings."""
+
+    __slots__ = ("graph", "_pruned", "_trees", "_paths", "_packings",
+                 "hits", "misses")
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._pruned: Dict[FrozenSet[Hashable], Graph] = {}
+        self._trees: Dict[
+            Tuple[FrozenSet[Hashable], Hashable], Dict[Hashable, Hashable]
+        ] = {}
+        self._paths: Dict[
+            Tuple[FrozenSet[Hashable], Hashable, Hashable], Optional[PathTuple]
+        ] = {}
+        self._packings: Dict[
+            Tuple[FrozenSet[Hashable], Hashable, FrozenSet[Hashable], int],
+            Optional[List[PathTuple]],
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __reduce__(self):
+        # Caches are per-process state; a pickled oracle starts cold.
+        return (type(self), (self.graph,))
+
+    # ------------------------------------------------------------------
+    def pruned(self, removed: FrozenSet[Hashable]) -> Graph:
+        """``G − removed``, computed once per distinct removal set."""
+        graph = self._pruned.get(removed)
+        if graph is None:
+            graph = self.graph.remove_nodes(removed)
+            self._pruned[removed] = graph
+        return graph
+
+    def _parents(
+        self, removed: FrozenSet[Hashable], root: Hashable
+    ) -> Dict[Hashable, Hashable]:
+        """BFS parent tree toward ``root`` in ``G − removed``.
+
+        Neighbors are visited in ``repr`` order, so the tree (and every
+        path read from it) is deterministic.
+        """
+        key = (removed, root)
+        parents = self._trees.get(key)
+        if parents is None:
+            graph = self.pruned(removed)
+            parents = {root: root}
+            queue = deque([root])
+            while queue:
+                x = queue.popleft()
+                for y in sorted(graph.neighbors(x), key=repr):
+                    if y not in parents:
+                        parents[y] = x
+                        queue.append(y)
+            self._trees[key] = parents
+        return parents
+
+    # ------------------------------------------------------------------
+    def path_excluding(
+        self,
+        u: Hashable,
+        v: Hashable,
+        excluded: FrozenSet[Hashable],
+    ) -> Optional[PathTuple]:
+        """One shortest ``u → v`` path with no internal node in
+        ``excluded`` (endpoints may belong to it), or ``None``.
+
+        Semantics match ``ExactConsensusProtocol._path_excluding``: the
+        pruned graph is ``G − (excluded − {u, v})`` and a missing
+        endpoint or disconnection yields ``None``.
+        """
+        key = (excluded, u, v)
+        if key in self._paths:
+            self.hits += 1
+            return self._paths[key]
+        self.misses += 1
+        removed = frozenset(excluded - {u, v})
+        graph = self.pruned(removed)
+        path: Optional[PathTuple]
+        if u not in graph.nodes or v not in graph.nodes:
+            path = None
+        elif u == v:
+            path = (u,)
+        else:
+            parents = self._parents(removed, v)
+            if u not in parents:
+                path = None
+            else:
+                walk = [u]
+                while walk[-1] != v:
+                    walk.append(parents[walk[-1]])
+                path = tuple(walk)
+        self._paths[key] = path
+        return path
+
+    def disjoint_paths_excluding(
+        self,
+        sources: Iterable[Hashable],
+        v: Hashable,
+        exclude: Iterable[Hashable],
+        k: int,
+    ) -> Optional[List[PathTuple]]:
+        """Memoized :func:`repro.graphs.disjoint_paths_excluding`."""
+        key = (frozenset(sources), v, frozenset(exclude), k)
+        if key in self._packings:
+            self.hits += 1
+            return self._packings[key]
+        self.misses += 1
+        result = disjoint_paths_excluding(self.graph, key[0], v, key[2], k)
+        self._packings[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Counters for benchmarks and the equivalence tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "pruned_graphs": len(self._pruned),
+            "bfs_trees": len(self._trees),
+            "paths": len(self._paths),
+            "packings": len(self._packings),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        info = self.cache_info()
+        return (
+            f"<PathOracle n={self.graph.n} hits={info['hits']} "
+            f"misses={info['misses']}>"
+        )

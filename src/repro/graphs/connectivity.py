@@ -32,21 +32,31 @@ _SINK = ("sink", None)
 
 
 class _FlowNetwork:
-    """A tiny capacitated digraph with Edmonds–Karp max-flow.
+    """A tiny capacitated digraph with Dinic's max-flow.
 
-    Unit through-capacities keep augmenting-path counts bounded by ``n``,
-    so BFS augmentation is entirely adequate at library scale.
+    Adjacency is stored as insertion-ordered dicts, so for a fixed arc
+    insertion sequence (the builders below insert in sorted node order)
+    every traversal — and therefore the returned flow and any paths
+    decomposed from it — is deterministic, independent of
+    ``PYTHONHASHSEED``.
+
+    :meth:`max_flow` runs Dinic's algorithm (BFS level graph + pointered
+    DFS blocking flow): O(E·√V) on the unit-capacity node-split networks
+    used here, versus Edmonds–Karp's O(V·E).  The old Edmonds–Karp loop
+    is retained verbatim as :meth:`max_flow_reference` — a test oracle
+    the equivalence suite cross-validates against.
     """
 
     def __init__(self) -> None:
         self.capacity: dict[tuple, dict[tuple, int]] = {}
-        self._adj: dict[tuple, set[tuple]] = {}
+        # dict-as-ordered-set: keys are the neighbors, values unused.
+        self._adj: dict[tuple, dict[tuple, None]] = {}
 
     def add_arc(self, u: tuple, v: tuple, cap: int) -> None:
         self.capacity.setdefault(u, {})[v] = cap
         self.capacity.setdefault(v, {})
-        self._adj.setdefault(u, set()).add(v)
-        self._adj.setdefault(v, set()).add(u)
+        self._adj.setdefault(u, {})[v] = None
+        self._adj.setdefault(v, {})[u] = None
 
     def remove_arcs_into(self, v: tuple, keep_from: tuple) -> None:
         """Delete all arcs into ``v`` except the one from ``keep_from``."""
@@ -57,6 +67,84 @@ class _FlowNetwork:
                 # capacity arc is equivalent to no arc.
 
     def max_flow(self) -> tuple[int, dict[tuple, dict[tuple, int]]]:
+        """Dinic's algorithm.  Returns ``(value, flow)`` with the same
+        residual-flow representation the rest of the module consumes."""
+        capacity = self.capacity
+        flow: dict[tuple, dict[tuple, int]] = {u: {} for u in self._adj}
+        adjacency = {u: list(nbrs) for u, nbrs in self._adj.items()}
+        total = 0
+        while True:
+            # BFS phase: residual level graph from the source.
+            level: dict[tuple, int] = {_SOURCE: 0}
+            queue = deque([_SOURCE])
+            while queue:
+                u = queue.popleft()
+                # Levels beyond the sink's cannot lie on a shortest
+                # augmenting path — stop expanding there.
+                if _SINK in level and level[u] >= level[_SINK]:
+                    continue
+                cap_u = capacity[u]
+                flow_u = flow[u]
+                next_level = level[u] + 1
+                for v in adjacency[u]:
+                    if v not in level and cap_u.get(v, 0) - flow_u.get(v, 0) > 0:
+                        level[v] = next_level
+                        queue.append(v)
+            if _SINK not in level:
+                return total, flow
+
+            # DFS phase: blocking flow with per-node arc pointers, so each
+            # saturated or level-infeasible arc is inspected once per
+            # phase.  Iterative (explicit path stack) — augmenting paths
+            # can be Θ(n) long, far beyond Python's recursion limit.
+            pointer = dict.fromkeys(adjacency, 0)
+            path = [_SOURCE]
+            while path:
+                u = path[-1]
+                if u == _SINK:
+                    bottleneck = min(
+                        capacity[path[i]].get(path[i + 1], 0)
+                        - flow[path[i]].get(path[i + 1], 0)
+                        for i in range(len(path) - 1)
+                    )
+                    retreat_to = len(path) - 1
+                    for i in range(len(path) - 1):
+                        a, b = path[i], path[i + 1]
+                        flow[a][b] = flow[a].get(b, 0) + bottleneck
+                        flow[b][a] = flow[b].get(a, 0) - bottleneck
+                        if (
+                            capacity[a].get(b, 0) - flow[a][b] == 0
+                            and i < retreat_to
+                        ):
+                            retreat_to = i
+                    total += bottleneck
+                    # Resume from the first saturated arc on the path.
+                    del path[retreat_to + 1 :]
+                    continue
+                arcs = adjacency[u]
+                cap_u = capacity[u]
+                flow_u = flow[u]
+                next_level = level[u] + 1
+                advanced = False
+                while pointer[u] < len(arcs):
+                    v = arcs[pointer[u]]
+                    if (
+                        cap_u.get(v, 0) - flow_u.get(v, 0) > 0
+                        and level.get(v) == next_level
+                    ):
+                        path.append(v)
+                        advanced = True
+                        break
+                    pointer[u] += 1
+                if not advanced:
+                    # Dead end: prune u from the level graph and step back.
+                    level.pop(u, None)
+                    path.pop()
+                    if path:
+                        pointer[path[-1]] += 1
+
+    def max_flow_reference(self) -> tuple[int, dict[tuple, dict[tuple, int]]]:
+        """The original Edmonds–Karp implementation (test oracle only)."""
         flow: dict[tuple, dict[tuple, int]] = {u: {} for u in self._adj}
 
         def residual(a: tuple, b: tuple) -> int:
@@ -126,7 +214,9 @@ def _build_split_network(
     if edge_cap is None:
         edge_cap = 1
     net = _FlowNetwork()
-    for v in graph.nodes:
+    # Sorted insertion keeps the network's arc order — and with it every
+    # max-flow traversal and decomposed path — hash-seed independent.
+    for v in sorted(graph.nodes, key=repr):
         if v in source_set or v == sink:
             through = big
         elif v in excluded:
@@ -139,11 +229,11 @@ def _build_split_network(
             net.add_arc(("out", u), ("in", v), edge_cap)
         if v != sink:
             net.add_arc(("out", v), ("in", u), edge_cap)
-    for s in source_set:
+    for s in sorted(source_set, key=repr):
         net.add_arc(_SOURCE, ("in", s), big)
     net.add_arc(("out", sink), _SINK, big)
     # Excluded sources are endpoint-only: forbid entering them mid-path.
-    for s in source_set & excluded:
+    for s in sorted(source_set & excluded, key=repr):
         net.remove_arcs_into(("in", s), keep_from=_SOURCE)
     return net
 

@@ -251,6 +251,70 @@ def random_connected_graph(n: int, extra_edges: int, seed: int) -> Graph:
     return Graph(nodes, edges)
 
 
+def random_regular_graph(n: int, d: int, seed: int = 0) -> Graph:
+    """A uniform-ish random ``d``-regular graph on ``n`` nodes (seeded).
+
+    Pairing/configuration model with rejection: shuffle ``n·d`` stubs,
+    pair them up, and retry whenever a self-loop or parallel edge
+    appears.  For the modest degrees the experiments use, rejection
+    succeeds within a handful of attempts; the whole procedure is a pure
+    function of ``(n, d, seed)`` so sweeps stay reproducible.
+
+    Regular graphs are the natural random workload for the paper's
+    conditions: ``d ≥ 2f`` gives every node the required degree, and
+    random regular graphs are a.a.s. ``d``-connected, so they exercise
+    the ``κ ≥ ⌊3f/2⌋ + 1`` condition with high probability.
+    """
+    if n < 1:
+        raise GraphError("need at least one node")
+    if not 0 <= d < n:
+        raise GraphError("need 0 <= d < n for a simple d-regular graph")
+    if (n * d) % 2 != 0:
+        raise GraphError("n * d must be even for a d-regular graph")
+    rng = random.Random(seed)
+    stubs = [v for v in range(n) for _ in range(d)]
+    for _ in range(1000):
+        rng.shuffle(stubs)
+        pairs = [
+            tuple(sorted((stubs[i], stubs[i + 1])))
+            for i in range(0, len(stubs), 2)
+        ]
+        if any(a == b for a, b in pairs):
+            continue
+        if len(set(pairs)) != len(pairs):
+            continue
+        return Graph(range(n), pairs)
+    raise GraphError(
+        f"could not sample a simple {d}-regular graph on {n} nodes "
+        f"(seed {seed}); try another seed"
+    )
+
+
+def gnp_supercritical_graph(n: int, c: float = 2.0, seed: int = 0) -> Graph:
+    """Erdős–Rényi ``G(n, p)`` with ``p = c/n`` in the supercritical
+    regime ``c > 1`` (a giant component exists a.a.s.).
+
+    Deterministic for fixed ``(n, c, seed)``: edge slots are visited in
+    lexicographic order, each kept with one seeded coin flip.  Isolated
+    nodes and small components are retained — sweeps over this family
+    deliberately include graphs that *fail* the paper's conditions, which
+    is exactly what a universal-claim stress test wants.
+    """
+    if n < 1:
+        raise GraphError("need at least one node")
+    if c <= 1:
+        raise GraphError("supercritical regime requires c > 1")
+    p = min(1.0, c / n)
+    rng = random.Random(seed)
+    edges = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 1, n)
+        if rng.random() < p
+    ]
+    return Graph(range(n), edges)
+
+
 FAMILY_BUILDERS = {
     "path": path_graph,
     "cycle": cycle_graph,
@@ -259,5 +323,7 @@ FAMILY_BUILDERS = {
     "petersen": lambda: petersen_graph(),
     "figure_1a": lambda: paper_figure_1a(),
     "figure_1b": lambda: paper_figure_1b(),
+    "random_regular": random_regular_graph,
+    "gnp_supercritical": gnp_supercritical_graph,
 }
 """Registry used by sweeps and examples to name graphs in reports."""

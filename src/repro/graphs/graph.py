@@ -81,10 +81,17 @@ class Graph:
         return self._edge_count
 
     def edges(self) -> Iterator[Edge]:
-        """Iterate over each undirected edge exactly once."""
+        """Iterate over each undirected edge exactly once.
+
+        Both loops run in ``repr`` order so the edge sequence is a pure
+        function of the graph — never of ``PYTHONHASHSEED`` (string-labeled
+        nodes, e.g. the ``"u@0"``/``"u@1"`` covering graphs, would otherwise
+        leak set iteration order), as the simulator's determinism contract
+        requires.
+        """
         seen: set[Node] = set()
         for u in sorted(self._adj, key=repr):
-            for v in self._adj[u]:
+            for v in sorted(self._adj[u], key=repr):
                 if v not in seen:
                     yield (u, v)
             seen.add(u)

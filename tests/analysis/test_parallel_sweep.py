@@ -1,0 +1,123 @@
+"""Parallel sweep equivalence: same report, any worker count."""
+
+import pytest
+
+from repro.analysis import consensus_sweep, input_patterns, sweep_tasks
+from repro.consensus import algorithm1_factory, algorithm2_factory
+from repro.graphs import cycle_graph
+from repro.net import SilentAdversary, TamperForwardAdversary
+from repro.net.adversary import standard_adversaries
+
+
+def small_sweep(graph, workers):
+    return consensus_sweep(
+        graph,
+        algorithm1_factory(graph, 1),
+        f=1,
+        adversaries=[SilentAdversary(), TamperForwardAdversary()],
+        patterns=["all-one", "alternating"],
+        workers=workers,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_identical_to_serial(self, c4, workers):
+        serial = small_sweep(c4, workers=1)
+        parallel = small_sweep(c4, workers=workers)
+        assert parallel.records == serial.records
+        assert parallel.to_json() == serial.to_json()
+
+    def test_full_battery_parallel(self, c4):
+        """The standard battery (including the seeded RandomAdversary)
+        is picklable and reproduces serial results across processes."""
+        factory = algorithm2_factory(c4, 1)
+        serial = consensus_sweep(
+            c4, factory, f=1, patterns=["split"], seed=3, workers=1
+        )
+        parallel = consensus_sweep(
+            c4, factory, f=1, patterns=["split"], seed=3, workers=2
+        )
+        assert parallel.records == serial.records
+
+    def test_unpicklable_context_falls_back_to_serial(self, c4):
+        trap = TamperForwardAdversary(selector=lambda m, s: True)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            report = consensus_sweep(
+                c4,
+                algorithm1_factory(c4, 1),
+                f=1,
+                adversaries=[trap],
+                patterns=["all-one"],
+                workers=2,
+            )
+        serial = consensus_sweep(
+            c4,
+            algorithm1_factory(c4, 1),
+            f=1,
+            adversaries=[TamperForwardAdversary(selector=None)],
+            patterns=["all-one"],
+        )
+        assert report.records == serial.records
+
+    def test_workers_must_be_positive(self, c4):
+        with pytest.raises(ValueError):
+            small_sweep(c4, workers=0)
+
+
+class TestWorkList:
+    def test_canonical_order_and_indices(self, c4):
+        adversaries = standard_adversaries(0)
+        patterns = input_patterns(c4)
+        tasks = sweep_tasks(c4, 1, adversaries, patterns)
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        assert len(tasks) == 4 * len(adversaries) * 4
+        # Faults outermost, patterns innermost — the report's record order.
+        assert tasks[0].faulty == tasks[len(patterns) - 1].faulty
+        assert tasks[0].adversary_index == 0
+        assert tasks[len(patterns)].adversary_index == 1
+
+    def test_task_list_matches_report_order(self, c4):
+        adversaries = [SilentAdversary()]
+        patterns = {k: v for k, v in input_patterns(c4).items() if k == "all-one"}
+        tasks = sweep_tasks(c4, 1, adversaries, patterns)
+        report = consensus_sweep(
+            c4,
+            algorithm1_factory(c4, 1),
+            f=1,
+            adversaries=adversaries,
+            patterns=["all-one"],
+        )
+        assert [t.faulty for t in tasks] == [r.faulty for r in report.records]
+
+
+class TestReportSerialization:
+    def test_to_dict_shape(self, c4):
+        report = small_sweep(c4, workers=1)
+        payload = report.to_dict()
+        assert payload["runs"] == report.runs == len(payload["records"])
+        assert payload["all_consensus"] is True
+        assert payload["failures"] == 0
+        record = payload["records"][0]
+        assert set(record) == {
+            "faulty", "adversary", "inputs_name", "consensus", "agreement",
+            "validity", "rounds", "transmissions", "decision",
+        }
+
+    def test_json_round_trip(self, c4):
+        import json
+
+        report = small_sweep(c4, workers=1)
+        decoded = json.loads(report.to_json())
+        assert decoded["runs"] == report.runs
+
+    def test_string_labeled_nodes_serialize(self):
+        graph = cycle_graph(4).relabeled({i: f"n{i}" for i in range(4)})
+        report = consensus_sweep(
+            graph,
+            algorithm1_factory(graph, 1),
+            f=1,
+            adversaries=[SilentAdversary()],
+            patterns=["all-one"],
+        )
+        assert "n0" in report.to_json()

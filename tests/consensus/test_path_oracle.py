@@ -1,0 +1,131 @@
+"""PathOracle: cached answers must equal the uncached machinery."""
+
+import pickle
+from itertools import combinations
+
+import pytest
+
+from repro.consensus import Algorithm1Factory, PathOracle, algorithm1_factory
+from repro.consensus.runner import run_consensus
+from repro.graphs import (
+    cycle_graph,
+    disjoint_paths_excluding,
+    harary_graph,
+    petersen_graph,
+    wheel_graph,
+)
+
+
+def uncached_path_excluding(graph, u, v, excluded):
+    """The original ExactConsensusProtocol._path_excluding computation."""
+    pruned = graph.remove_nodes(set(excluded) - {u, v})
+    if u not in pruned.nodes or v not in pruned.nodes:
+        return None
+    return pruned.shortest_path(u, v)
+
+
+class TestPathExcluding:
+    @pytest.mark.parametrize("graph", [
+        cycle_graph(6), petersen_graph(), wheel_graph(6), harary_graph(3, 8),
+    ], ids=["c6", "petersen", "w6", "h38"])
+    def test_matches_uncached_connectivity_calls(self, graph):
+        oracle = PathOracle(graph)
+        nodes = sorted(graph.nodes, key=repr)
+        for excluded in [frozenset(), frozenset(nodes[:1]), frozenset(nodes[:2])]:
+            for u, v in combinations(nodes, 2):
+                expected = uncached_path_excluding(graph, u, v, excluded)
+                got = oracle.path_excluding(u, v, excluded)
+                if expected is None:
+                    assert got is None, (u, v, excluded)
+                    continue
+                # Same existence and same (shortest) length; the concrete
+                # tie-break may differ, but the path must be real and
+                # avoid the excluded set internally.
+                assert got is not None
+                assert len(got) == len(expected)
+                assert got[0] == u and got[-1] == v
+                assert all(graph.has_edge(x, y) for x, y in zip(got, got[1:]))
+                assert not (set(got[1:-1]) & excluded)
+
+    def test_excluded_endpoints_stay_usable(self):
+        graph = cycle_graph(5)
+        oracle = PathOracle(graph)
+        path = oracle.path_excluding(0, 2, frozenset({0, 2}))
+        assert path is not None and path[0] == 0 and path[-1] == 2
+
+    def test_disconnection_returns_none(self):
+        graph = cycle_graph(6)
+        oracle = PathOracle(graph)
+        assert oracle.path_excluding(0, 3, frozenset({1, 5})) is None
+
+    def test_caching_counters(self):
+        graph = cycle_graph(5)
+        oracle = PathOracle(graph)
+        oracle.path_excluding(0, 2, frozenset({4}))
+        assert oracle.cache_info()["misses"] == 1
+        oracle.path_excluding(0, 2, frozenset({4}))
+        assert oracle.cache_info()["hits"] == 1
+        # Different query, same pruned graph: BFS tree is reused.
+        oracle.path_excluding(1, 2, frozenset({4}))
+        assert oracle.cache_info()["bfs_trees"] == 1
+        assert oracle.cache_info()["pruned_graphs"] == 1
+
+
+class TestDisjointPathsExcluding:
+    def test_matches_uncached(self):
+        graph = petersen_graph()
+        oracle = PathOracle(graph)
+        sources, sink, exclude = {0, 1, 2}, 7, {4}
+        expected = disjoint_paths_excluding(graph, sources, sink, exclude, 2)
+        got = oracle.disjoint_paths_excluding(sources, sink, exclude, 2)
+        assert got == expected
+        assert oracle.disjoint_paths_excluding(sources, sink, exclude, 2) == expected
+        assert oracle.cache_info()["hits"] == 1
+
+    def test_infeasible_packing_is_none_and_cached(self):
+        graph = cycle_graph(5)
+        oracle = PathOracle(graph)
+        assert oracle.disjoint_paths_excluding({0}, 2, set(), 3) is None
+        assert oracle.disjoint_paths_excluding({0}, 2, set(), 3) is None
+        assert oracle.cache_info()["hits"] == 1
+
+
+class TestSharing:
+    def test_factory_shares_one_oracle(self):
+        graph = cycle_graph(5)
+        factory = Algorithm1Factory(graph, 1)
+        p0 = factory(0, 0)
+        p1 = factory(1, 1)
+        assert p0.oracle is p1.oracle is factory.oracle
+
+    def test_wrong_graph_rejected(self):
+        from repro.consensus import Algorithm1Protocol
+
+        oracle = PathOracle(cycle_graph(5))
+        with pytest.raises(ValueError):
+            Algorithm1Protocol(cycle_graph(4), 0, 1, 0, oracle=oracle)
+
+    def test_pickled_factory_rebuilds_cold_oracle(self):
+        graph = cycle_graph(5)
+        factory = algorithm1_factory(graph, 1)
+        factory.oracle.path_excluding(0, 2, frozenset({4}))
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone.graph == graph
+        assert clone.oracle.cache_info()["paths"] == 0
+
+    def test_shared_oracle_run_matches_fresh_oracles(self):
+        """A full consensus run behaves identically whether instances
+        share the factory oracle or each build their own."""
+        graph = cycle_graph(4)
+        inputs = {v: v % 2 for v in graph.nodes}
+
+        shared = run_consensus(graph, algorithm1_factory(graph, 1), inputs, f=1)
+
+        def fresh_factory(node, input_value):
+            from repro.consensus import Algorithm1Protocol
+            return Algorithm1Protocol(graph, node, 1, input_value)
+
+        fresh = run_consensus(graph, fresh_factory, inputs, f=1)
+        assert shared.honest_outputs == fresh.honest_outputs
+        assert shared.rounds == fresh.rounds
+        assert shared.transmissions == fresh.transmissions

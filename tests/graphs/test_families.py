@@ -16,9 +16,11 @@ from repro.graphs import (
     min_set_neighborhood,
     paper_figure_1a,
     paper_figure_1b,
+    gnp_supercritical_graph,
     path_graph,
     petersen_graph,
     random_connected_graph,
+    random_regular_graph,
     star_graph,
     tight_local_broadcast_graph,
     vertex_connectivity,
@@ -158,3 +160,58 @@ class TestRandomGraphs:
     def test_edge_budget(self):
         g = random_connected_graph(8, 3, seed=0)
         assert g.edge_count == 7 + 3
+
+
+class TestRandomRegular:
+    def test_regular_and_deterministic(self):
+        g1 = random_regular_graph(10, 4, seed=7)
+        g2 = random_regular_graph(10, 4, seed=7)
+        assert g1 == g2
+        assert all(g1.degree(v) == 4 for v in g1.nodes)
+        assert g1.n == 10
+
+    def test_different_seeds_differ(self):
+        assert random_regular_graph(12, 4, seed=1) != random_regular_graph(
+            12, 4, seed=2
+        )
+
+    def test_odd_stub_count_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(5, 3, seed=0)
+
+    def test_degree_bounds_enforced(self):
+        with pytest.raises(GraphError):
+            random_regular_graph(4, 4, seed=0)
+
+    def test_feasible_instances_exist(self):
+        """Degree-4 random regular graphs routinely satisfy the f = 1
+        local-broadcast conditions — the sweep workload they exist for."""
+        g = random_regular_graph(10, 4, seed=7)
+        assert check_local_broadcast(g, 1).feasible
+
+
+class TestGnpSupercritical:
+    def test_deterministic(self):
+        assert gnp_supercritical_graph(20, 2.0, seed=5) == (
+            gnp_supercritical_graph(20, 2.0, seed=5)
+        )
+
+    def test_different_seeds_differ(self):
+        assert gnp_supercritical_graph(20, 2.0, seed=5) != (
+            gnp_supercritical_graph(20, 2.0, seed=6)
+        )
+
+    def test_subcritical_rejected(self):
+        with pytest.raises(GraphError):
+            gnp_supercritical_graph(20, 1.0, seed=0)
+
+    def test_giant_component_emerges(self):
+        from repro.graphs import Graph
+
+        g = gnp_supercritical_graph(60, 3.0, seed=2)
+        components = g.connected_components()
+        assert max(len(c) for c in components) > 60 // 2
+
+    def test_dense_regime_caps_probability(self):
+        g = gnp_supercritical_graph(4, 8.0, seed=0)  # p capped at 1
+        assert g.edge_count == 6

@@ -63,3 +63,61 @@ class TestCommands:
         code = main(["demo-impossibility", "--kind", "connectivity",
                      "--f", "2"])
         assert code == 0
+
+
+class TestSweepCommand:
+    def test_sweep_json_to_stdout(self, capsys):
+        code = main([
+            "sweep", "--graph", "cycle:4", "--f", "1",
+            "--patterns", "all-one", "--fault-limit", "2",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_consensus"] is True
+        assert payload["graph"] == "cycle:4"
+        assert payload["runs"] == len(payload["records"]) > 0
+
+    def test_sweep_parallel_matches_serial(self, capsys):
+        args = ["sweep", "--graph", "cycle:4", "--f", "1",
+                "--patterns", "all-one,split", "--fault-limit", "2"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        import json
+
+        serial = json.loads(serial_out)
+        parallel = json.loads(parallel_out)
+        serial.pop("workers"), parallel.pop("workers")
+        assert serial == parallel
+
+    def test_sweep_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main([
+            "sweep", "--graph", "cycle:4", "--f", "1",
+            "--patterns", "all-one", "--fault-limit", "1",
+            "--output", str(out),
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["runs"] == len(payload["records"])
+        assert "report.json" in capsys.readouterr().out
+
+
+class TestRandomGraphSpecs:
+    def test_random_regular_spec(self):
+        from repro.graphs import random_regular_graph
+
+        assert parse_graph("random_regular:8:4:3") == random_regular_graph(8, 4, 3)
+        assert parse_graph("random_regular:8:4") == random_regular_graph(8, 4, 0)
+
+    def test_gnp_spec(self):
+        from repro.graphs import gnp_supercritical_graph
+
+        assert parse_graph("gnp:12") == gnp_supercritical_graph(12, 2.0, 0)
+        assert parse_graph("gnp:12:2.5:9") == gnp_supercritical_graph(12, 2.5, 9)
+        assert parse_graph("gnp_supercritical:12:2.5:9") == parse_graph("gnp:12:2.5:9")
