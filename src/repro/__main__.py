@@ -6,12 +6,20 @@ Usage::
     python -m repro run   --graph cycle:5 --f 1 --algorithm 1 \
                           --faulty 3 --adversary tamper-forward
     python -m repro sweep --graph cycle:5 --f 1 --workers 2
+    python -m repro sweep --graph cycle:5 --f 1 \
+                          --scheduler seeded-async --seed 7 --max-delay 3
     python -m repro compare --max-f 5
     python -m repro demo-impossibility --kind degree --f 1
 
 Graph specs: ``cycle:N``, ``complete:N``, ``path:N``, ``wheel:N``,
 ``circulant:N:d1,d2``, ``harary:K:N``, ``petersen``, ``fig1a``,
 ``fig1b``, ``random_regular:N:D[:SEED]``, ``gnp:N[:C[:SEED]]``.
+
+Schedulers (``run``/``sweep`` ``--scheduler``): ``sync`` (the default
+synchronous simulator), ``lockstep`` (event-driven core, trace-identical
+to ``sync``), ``seeded-async`` (seeded random per-link delays),
+``adversarial`` (worst-case cut-straddling timing).  ``sweep`` accepts a
+comma-separated list to multiply the work-list by a timing axis.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from .lowerbounds import (
 )
 from .net import standard_adversaries
 from .net.channels import hybrid_model, local_broadcast_model
+from .net.sched import SCHEDULER_KINDS, parse_scheduler
 
 
 def parse_graph(spec: str) -> graphs.Graph:
@@ -63,6 +72,21 @@ def parse_graph(spec: str) -> graphs.Graph:
         seed = int(parts[3]) if len(parts) > 3 else 0
         return graphs.gnp_supercritical_graph(int(parts[1]), c, seed)
     raise SystemExit(f"unknown graph spec {spec!r}")
+
+
+def parse_scheduler_axis(spec: str, seed: int, max_delay: int):
+    """Parse a comma-separated ``--scheduler`` list into a sweep axis."""
+    axis = []
+    for token in spec.split(","):
+        name = token.strip()
+        if name not in ("", "sync", *SCHEDULER_KINDS):
+            choices = ["sync", *SCHEDULER_KINDS]
+            raise SystemExit(f"unknown scheduler {name!r}; choose from {choices}")
+        try:
+            axis.append(parse_scheduler(name, seed=seed, max_delay=max_delay))
+        except ValueError as exc:  # e.g. --max-delay 0
+            raise SystemExit(str(exc))
+    return axis
 
 
 def find_adversary(name: str):
@@ -107,17 +131,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         adversary = find_adversary(args.adversary)
     if args.algorithm == "3" and args.t:
         channel = hybrid_model(set(faulty[: args.t]))
+    axis = parse_scheduler_axis(args.scheduler, args.seed, args.max_delay)
+    if len(axis) != 1:
+        raise SystemExit("run takes exactly one --scheduler")
     result = consensus.run_consensus(
         graph, factory, inputs, f=args.f, faulty=faulty,
-        adversary=adversary, channel=channel,
+        adversary=adversary, channel=channel, scheduler=axis[0],
     )
     print(f"inputs        : {inputs}")
     print(f"faulty        : {faulty} ({args.adversary if faulty else 'none'})")
+    print(f"scheduler     : {args.scheduler}")
     print(f"honest outputs: {result.honest_outputs}")
     print(f"agreement     : {result.agreement}")
     print(f"validity      : {result.validity}")
     print(f"rounds        : {result.rounds}")
     print(f"transmissions : {result.transmissions}")
+    print(f"max latency   : {result.trace.max_latency}")
     return 0 if result.consensus else 1
 
 
@@ -143,6 +172,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown input patterns {unknown}; choose from {known}"
             )
+    schedulers = parse_scheduler_axis(args.scheduler, args.seed, args.max_delay)
     report = consensus_sweep(
         graph,
         factory,
@@ -151,14 +181,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         patterns=patterns,
         seed=args.seed,
         workers=args.workers,
+        schedulers=schedulers,
     )
-    text = report.to_json(graph=args.graph, f=args.f, workers=args.workers)
+    text = report.to_json(
+        graph=args.graph, f=args.f, workers=args.workers,
+        scheduler=args.scheduler,
+    )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
         print(f"wrote {report.runs} records to {args.output}")
     else:
         print(text)
+    if args.exit_zero:
+        return 0
     return 0 if report.all_consensus else 1
 
 
@@ -212,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faulty", default="",
                    help="comma-separated node indices")
     p.add_argument("--adversary", default="tamper-forward")
+    p.add_argument("--scheduler", default="sync",
+                   help="timing model: sync, lockstep, seeded-async, "
+                        "adversarial")
+    p.add_argument("--max-delay", type=int, default=3,
+                   help="worst-case per-link delay for async schedulers")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for the seeded-async scheduler")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -230,9 +273,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patterns", default="",
                    help="comma-separated input-pattern names "
                         "(default: all four)")
+    p.add_argument("--scheduler", default="sync",
+                   help="comma-separated timing axis: sync, lockstep, "
+                        "seeded-async, adversarial")
+    p.add_argument("--max-delay", type=int, default=3,
+                   help="worst-case per-link delay for async schedulers")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default="",
                    help="write the JSON report here instead of stdout")
+    p.add_argument("--exit-zero", action="store_true",
+                   help="exit 0 even when some runs miss consensus "
+                        "(async schedulers legitimately break the "
+                        "fixed-round algorithms; use for determinism "
+                        "smoke checks)")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("compare", help="print the model-requirement table")

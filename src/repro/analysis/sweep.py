@@ -7,13 +7,21 @@ them, or a seeded sample) and runs the full adversary battery on each,
 collecting a single verdict plus per-run records for reporting.
 
 The sweep is organized as a flat, canonically ordered work-list of
-``(faulty, adversary, pattern)`` tasks (:func:`sweep_tasks`).  Each task
-is a pure function of its inputs, so the engine can execute them in any
-order — serially (``workers=1``, the default) or fanned out across a
-seeded :class:`~concurrent.futures.ProcessPoolExecutor`
+``(faulty, scheduler, adversary, pattern)`` tasks (:func:`sweep_tasks`).
+Each task is a pure function of its inputs, so the engine can execute
+them in any order — serially (``workers=1``, the default) or fanned out
+across a seeded :class:`~concurrent.futures.ProcessPoolExecutor`
 (``workers=N``) — and still assemble a **byte-identical**
-:class:`SweepReport`: results stream back as workers finish and are
-slotted into the canonical position their task index dictates.
+:class:`SweepReport`: tasks are submitted in contiguous chunks (to
+amortize IPC on 10k+-task sweeps), results stream back as workers
+finish, and every record is slotted into the canonical position its
+task index dictates.
+
+The ``schedulers`` axis multiplies every ``(faulty, adversary,
+pattern)`` scenario by a timing model: ``None`` (the synchronous fast
+path) and/or any :class:`~repro.net.sched.SchedulerSpec` — so one sweep
+can quantify how an algorithm behaves when message timing, not just
+fault placement, is adversarial.
 
 Cross-process determinism rests on two properties the library maintains
 deliberately: every run-affecting iteration is ``repr``-sorted (never
@@ -38,12 +46,23 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 from ..consensus.runner import run_consensus
 from ..net.adversary import Adversary, HonestFactory, standard_adversaries
 from ..net.channels import ChannelModel
+from ..net.sched import SchedulerSpec
 from ..graphs import Graph
+
+#: A scheduler-axis entry: ``None`` is the synchronous fast path.
+SchedulerAxisEntry = Optional[SchedulerSpec]
+
+#: Record label for the ``None`` (SynchronousNetwork) axis entry.
+_SYNC_NAME = "sync"
+
+
+def _scheduler_name(spec: SchedulerAxisEntry) -> str:
+    return _SYNC_NAME if spec is None else spec.name
 
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One (fault set, adversary, input pattern) run."""
+    """One (fault set, scheduler, adversary, input pattern) run."""
 
     faulty: Tuple[Hashable, ...]
     adversary: str
@@ -54,6 +73,7 @@ class SweepRecord:
     rounds: int
     transmissions: int
     decision: Optional[int]
+    scheduler: str = _SYNC_NAME
 
 
 @dataclass
@@ -148,15 +168,16 @@ class SweepTask:
     """One unit of sweep work, addressed by its canonical ``index``.
 
     Deliberately tiny and picklable: the heavyweight, shared inputs
-    (graph, factory, adversary battery, patterns) travel to each worker
-    exactly once via the pool initializer; tasks only name which
-    combination to run.
+    (graph, factory, adversary battery, patterns, scheduler axis)
+    travel to each worker exactly once via the pool initializer; tasks
+    only name which combination to run.
     """
 
     index: int
     faulty: Tuple[Hashable, ...]
     adversary_index: int
     inputs_name: str
+    scheduler_index: int = 0
 
 
 @dataclass(frozen=True)
@@ -169,6 +190,7 @@ class _SweepContext:
     adversaries: Tuple[Adversary, ...]
     patterns: Dict[str, Dict[Hashable, int]]
     channel: Optional[ChannelModel]
+    schedulers: Tuple[SchedulerAxisEntry, ...] = (None,)
 
 
 def sweep_tasks(
@@ -178,8 +200,9 @@ def sweep_tasks(
     patterns: Dict[str, Dict[Hashable, int]],
     fault_limit: Optional[int] = None,
     seed: int = 0,
+    schedulers: Sequence[SchedulerAxisEntry] = (None,),
 ) -> List[SweepTask]:
-    """The canonical work-list: fault subsets × adversaries × patterns.
+    """The canonical work-list: faults × schedulers × adversaries × patterns.
 
     The nesting order (faults outermost, patterns innermost) is the
     report's record order — a pure function of the arguments, never of
@@ -187,17 +210,25 @@ def sweep_tasks(
     """
     tasks: List[SweepTask] = []
     for faulty in fault_subsets(graph, f, limit=fault_limit, seed=seed):
-        for adversary_index in range(len(adversaries)):
-            for name in patterns:
-                tasks.append(
-                    SweepTask(len(tasks), tuple(faulty), adversary_index, name)
-                )
+        for scheduler_index in range(len(schedulers)):
+            for adversary_index in range(len(adversaries)):
+                for name in patterns:
+                    tasks.append(
+                        SweepTask(
+                            len(tasks),
+                            tuple(faulty),
+                            adversary_index,
+                            name,
+                            scheduler_index,
+                        )
+                    )
     return tasks
 
 
 def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
     """Run one task to a :class:`SweepRecord` (pure given its inputs)."""
     adversary = context.adversaries[task.adversary_index]
+    scheduler = context.schedulers[task.scheduler_index]
     result = run_consensus(
         context.graph,
         context.honest_factory,
@@ -206,6 +237,7 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         faulty=task.faulty,
         adversary=adversary,
         channel=context.channel,
+        scheduler=scheduler,
     )
     return SweepRecord(
         faulty=task.faulty,
@@ -217,13 +249,18 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         rounds=result.rounds,
         transmissions=result.transmissions,
         decision=result.decision,
+        scheduler=_scheduler_name(scheduler),
     )
 
 
-# Per-worker context, installed once by the pool initializer so each task
-# submission only ships a SweepTask.  (Module-level state is required for
+# Per-worker context, installed once by the pool initializer so each chunk
+# submission only ships SweepTasks.  (Module-level state is required for
 # ProcessPoolExecutor initializers; it is only ever set in workers.)
 _WORKER_CONTEXT: Optional[_SweepContext] = None
+
+# Chunks per worker: enough slack for load balancing across uneven task
+# costs, few enough futures to amortize IPC on 10k+-task sweeps.
+_CHUNKS_PER_WORKER = 4
 
 
 def _worker_init(payload: bytes) -> None:
@@ -231,9 +268,17 @@ def _worker_init(payload: bytes) -> None:
     _WORKER_CONTEXT = pickle.loads(payload)
 
 
-def _worker_run(task: SweepTask) -> Tuple[int, SweepRecord]:
+def _worker_run_chunk(
+    tasks: Sequence[SweepTask],
+) -> List[Tuple[int, SweepRecord]]:
     assert _WORKER_CONTEXT is not None, "worker used before initialization"
-    return task.index, _execute_task(_WORKER_CONTEXT, task)
+    return [(task.index, _execute_task(_WORKER_CONTEXT, task)) for task in tasks]
+
+
+def _chunked(tasks: List[SweepTask], n_workers: int) -> List[List[SweepTask]]:
+    """Contiguous chunks of the canonical work-list (IPC amortization)."""
+    size = max(1, -(-len(tasks) // (n_workers * _CHUNKS_PER_WORKER)))
+    return [tasks[i : i + size] for i in range(0, len(tasks), size)]
 
 
 def consensus_sweep(
@@ -246,25 +291,43 @@ def consensus_sweep(
     patterns: Optional[Iterable[str]] = None,
     seed: int = 0,
     workers: int = 1,
+    schedulers: Optional[Sequence[SchedulerAxisEntry]] = None,
 ) -> SweepReport:
     """Run the full battery and report whether consensus *always* held.
 
     ``workers=1`` (default) executes the work-list serially in canonical
     order.  ``workers=N`` fans the same work-list out across ``N``
-    processes and streams the records back into canonical slots — the
-    returned report is record-for-record identical to the serial one.
+    processes in contiguous chunks and streams the records back into
+    canonical slots — the returned report is record-for-record identical
+    to the serial one.
+
+    ``schedulers`` is the timing axis: each entry is ``None`` (the
+    synchronous fast path) or a :class:`~repro.net.sched.SchedulerSpec`;
+    every ``(faulty, adversary, pattern)`` scenario runs once per entry.
+    Defaults to ``(None,)`` — existing sweeps are unchanged.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     adversaries = (
         list(adversaries) if adversaries is not None else standard_adversaries(seed)
     )
+    scheduler_axis: Tuple[SchedulerAxisEntry, ...] = (
+        tuple(schedulers) if schedulers is not None else (None,)
+    )
+    if not scheduler_axis:
+        raise ValueError("schedulers must contain at least one entry")
     all_patterns = input_patterns(graph)
     chosen = (
         {k: all_patterns[k] for k in patterns} if patterns is not None else all_patterns
     )
     tasks = sweep_tasks(
-        graph, f, adversaries, chosen, fault_limit=fault_limit, seed=seed
+        graph,
+        f,
+        adversaries,
+        chosen,
+        fault_limit=fault_limit,
+        seed=seed,
+        schedulers=scheduler_axis,
     )
     context = _SweepContext(
         graph=graph,
@@ -273,6 +336,7 @@ def consensus_sweep(
         adversaries=tuple(adversaries),
         patterns=chosen,
         channel=channel,
+        schedulers=scheduler_axis,
     )
 
     payload: Optional[bytes] = None
@@ -291,14 +355,18 @@ def consensus_sweep(
         return SweepReport(records=[_execute_task(context, t) for t in tasks])
 
     records: List[Optional[SweepRecord]] = [None] * len(tasks)
+    n_workers = min(workers, len(tasks))
     with ProcessPoolExecutor(
-        max_workers=min(workers, len(tasks)),
+        max_workers=n_workers,
         initializer=_worker_init,
         initargs=(payload,),
     ) as pool:
-        futures = [pool.submit(_worker_run, task) for task in tasks]
+        futures = [
+            pool.submit(_worker_run_chunk, chunk)
+            for chunk in _chunked(tasks, n_workers)
+        ]
         for future in as_completed(futures):
-            index, record = future.result()
-            records[index] = record
+            for index, record in future.result():
+                records[index] = record
     assert all(r is not None for r in records)
     return SweepReport(records=list(records))  # type: ignore[arg-type]

@@ -216,23 +216,54 @@ def detect_faults(
     every other node ``u``, walk ``2f`` node-disjoint ``wu``-paths; along
     each path, the first internal node ``z`` that *provably misbehaved on
     this path's slot* is marked faulty.  Misbehavior of ``z`` at position
-    ``idx`` (prefix ``Π = P[:idx]``) is either
+    ``idx`` (prefix ``Π = P[:idx]``) is one of
 
     * a reliably received claim that ``z`` transmitted ``(b̄, Π)`` at any
-      time (the tampering case of the paper's pseudocode), or
-    * a reliably known complete transcript of ``z`` that omits
-      transmitting ``(b, Π)`` at its schedule round ``first_round + idx``
-      (the silent-drop/late-forward case; the paper's "tampers the
-      message" read operationally — Lemma C.2 makes a faulty node's full
+      time (the tampering case of the paper's pseudocode);
+    * a reliably known complete transcript of ``z`` that contains a
+      *forward* (non-empty path) in the initiation round — nothing has
+      arrived yet, so an honest node physically cannot forward there.
+      This is how an early fabricator is caught (see below);
+    * a reliably known complete transcript of ``z`` with no transmission
+      of ``(b, Π)`` **by** its schedule round ``first_round + idx`` (the
+      silent-drop/late-forward case; the paper's "tampers the message"
+      read operationally — Lemma C.2 makes a faulty node's full
       transcript reliably known, so omissions are visible).
 
+    The deadline is "by", not "at": a faulty upstream node can fabricate
+    ``(b, Π')`` *before* its own schedule slot, and an honest ``z``
+    that accepts the early copy forwards it early — rule (ii) then
+    swallows the on-schedule duplicate, so ``z``'s transcript carries
+    the forward ahead of schedule.  Demanding the exact round would
+    blame the honest victim (a real falsified run: C4, f = 1, a random
+    adversary fabricating its neighbor's initiation in round 1 — two
+    honest nodes each "detected" two faults and disagreed).  The early
+    fabricator itself is caught by the initiation-round check, which
+    shadows its downstream victims.
+
     Soundness: the first deviator on a path is necessarily faulty —
-    honest nodes forward exactly what they accept on schedule, false
-    claims about honest nodes are never reliably received, and honest
+    honest nodes forward exactly what they accept, no later than the
+    all-honest schedule and never in the initiation round; false claims
+    about honest nodes are never reliably received; and honest
     omissions occur only downstream of an earlier (faulty) deviator,
     which is detected first and shadows them.
     """
     detected: set[Hashable] = set()
+    # Depends only on z's transcript — memoized so the quadruple loop
+    # scans each node's transcript once, not once per (origin, path, slot).
+    _early_cache: Dict[Hashable, bool] = {}
+
+    def forwards_in_initiation_round(z: Hashable, transcript: Transcript) -> bool:
+        if z not in _early_cache:
+            _early_cache[z] = any(
+                r <= first_round
+                and isinstance(m, FloodMessage)
+                and m.phase == phase1_tag
+                and len(m.path) > 0
+                for r, m in transcript
+            )
+        return _early_cache[z]
+
     for w in sorted(reliable_values, key=repr):
         b = reliable_values[w]
         wrong = ValuePayload(1 - b)
@@ -253,9 +284,14 @@ def detect_faults(
                     suspicious = claims.reliably_transmitted(z, tampered)
                     if not suspicious:
                         transcript = claims.reliable_transcript(z)
-                        suspicious = transcript is not None and (
-                            (schedule_round, honest_fwd) not in transcript
-                        )
+                        if transcript is not None:
+                            on_time = any(
+                                r <= schedule_round and m == honest_fwd
+                                for r, m in transcript
+                            )
+                            suspicious = not on_time or (
+                                forwards_in_initiation_round(z, transcript)
+                            )
                     if suspicious:
                         detected.add(z)
                         break  # only the first such node on this path

@@ -16,6 +16,7 @@ from ..graphs import Graph
 from ..net.adversary import Adversary, FaultSpec, HonestFactory
 from ..net.channels import ChannelModel, local_broadcast_model
 from ..net.node import Protocol
+from ..net.sched import EventDrivenNetwork, SchedulerSpec
 from ..net.simulator import SimulationError, SynchronousNetwork
 from ..net.trace import Trace
 
@@ -77,6 +78,7 @@ def run_consensus(
     adversary: Optional[Adversary] = None,
     channel: Optional[ChannelModel] = None,
     max_rounds: Optional[int] = None,
+    scheduler: Optional[SchedulerSpec] = None,
 ) -> ConsensusResult:
     """Run one consensus execution and evaluate the three properties.
 
@@ -85,6 +87,13 @@ def run_consensus(
     defaults to the honest protocols' own ``total_rounds`` budget (every
     protocol in this library precomputes its round count — the paper's
     algorithms are all fixed-round).
+
+    ``scheduler`` selects the timing model: ``None`` runs the classic
+    synchronous simulator; a :class:`~repro.net.sched.SchedulerSpec`
+    runs the event-driven core with a fresh scheduler built for this
+    run.  The lockstep spec is trace-equivalent to ``None``; the
+    asynchronous specs deliberately stress the fixed-round protocols
+    outside their synchrony assumption.
     """
     faulty_set = frozenset(faulty)
     unknown = faulty_set - graph.nodes
@@ -127,7 +136,10 @@ def run_consensus(
             raise ValueError("max_rounds required: protocols expose no budget")
         max_rounds = max(known)
 
-    net = SynchronousNetwork(graph, protocols, channel)
+    if scheduler is None:
+        net = SynchronousNetwork(graph, protocols, channel)
+    else:
+        net = EventDrivenNetwork(graph, protocols, scheduler.build(graph), channel)
     try:
         net.run_until_decided(max_rounds, honest=set(honest))
     except SimulationError:

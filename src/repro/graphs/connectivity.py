@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Iterable
+from functools import lru_cache
 from itertools import combinations
 
 from .graph import Graph, GraphError, Node
@@ -334,18 +335,8 @@ def local_connectivity(graph: Graph, u: Node, v: Node) -> int:
     return max_disjoint_paths(graph, u, v)
 
 
-def vertex_connectivity(graph: Graph) -> int:
-    """Global vertex connectivity κ(G).
-
-    Definition used by the paper (Section 3): ``G`` is ``k``-connected if
-    ``n > k`` and removing fewer than ``k`` nodes never disconnects it.
-    Consequently κ(K_n) = n - 1 and κ of a disconnected graph is 0.
-
-    Uses the classic pruning: fix a minimum-degree vertex ``x``; a minimum
-    cut either avoids ``x`` (then some non-neighbor of ``x`` is separated
-    from it) or contains ``x`` (then two of ``x``'s neighbors lie on
-    opposite sides), so checking those pairs suffices.
-    """
+@lru_cache(maxsize=512)
+def _vertex_connectivity_uncached(graph: Graph) -> int:
     n = graph.n
     if n <= 1:
         return 0
@@ -365,6 +356,31 @@ def vertex_connectivity(graph: Graph) -> int:
             if best == 0:
                 return 0
     return best
+
+
+def vertex_connectivity(graph: Graph) -> int:
+    """Global vertex connectivity κ(G).
+
+    Definition used by the paper (Section 3): ``G`` is ``k``-connected if
+    ``n > k`` and removing fewer than ``k`` nodes never disconnects it.
+    Consequently κ(K_n) = n - 1 and κ of a disconnected graph is 0.
+
+    Uses the classic pruning: fix a minimum-degree vertex ``x``; a minimum
+    cut either avoids ``x`` (then some non-neighbor of ``x`` is separated
+    from it) or contains ``x`` (then two of ``x``'s neighbors lie on
+    opposite sides), so checking those pairs suffices.
+
+    Memoized on the (immutable, hashable) graph behind a module-level
+    LRU: feasibility checkers and sweeps re-ask κ(G) of the same graph
+    constantly — e.g. every ``check_local_broadcast``/``consensus_sweep``
+    call — and repeat queries are near-free.  ``cache_info`` /
+    ``cache_clear`` are exposed on this function.
+    """
+    return _vertex_connectivity_uncached(graph)
+
+
+vertex_connectivity.cache_info = _vertex_connectivity_uncached.cache_info
+vertex_connectivity.cache_clear = _vertex_connectivity_uncached.cache_clear
 
 
 def is_k_connected(graph: Graph, k: int) -> bool:

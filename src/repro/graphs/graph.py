@@ -39,7 +39,7 @@ class Graph:
     protocol cannot accidentally rewire the network mid-run.
     """
 
-    __slots__ = ("_adj", "_nodes", "_edge_count", "_hash")
+    __slots__ = ("_adj", "_nodes", "_edge_count", "_hash", "_sorted_adj")
 
     def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()):
         adj: dict[Node, set[Node]] = {v: set() for v in nodes}
@@ -61,6 +61,7 @@ class Graph:
         self._nodes: FrozenSet[Node] = frozenset(self._adj)
         self._edge_count = edge_count
         self._hash: int | None = None
+        self._sorted_adj: dict[Node, tuple[Node, ...]] = {}
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -91,7 +92,7 @@ class Graph:
         """
         seen: set[Node] = set()
         for u in sorted(self._adj, key=repr):
-            for v in sorted(self._adj[u], key=repr):
+            for v in self.sorted_neighbors(u):
                 if v not in seen:
                     yield (u, v)
             seen.add(u)
@@ -102,6 +103,19 @@ class Graph:
             return self._adj[v]
         except KeyError:
             raise GraphError(f"node {v!r} is not in the graph") from None
+
+    def sorted_neighbors(self, v: Node) -> tuple[Node, ...]:
+        """Neighbors of ``v`` in ``repr`` order (lazily cached).
+
+        Every run-affecting traversal iterates this instead of the raw
+        ``frozenset`` adjacency, so traversal results are a pure function
+        of the graph — never of ``PYTHONHASHSEED``.
+        """
+        cached = self._sorted_adj.get(v)
+        if cached is None:
+            cached = tuple(sorted(self.neighbors(v), key=repr))
+            self._sorted_adj[v] = cached
+        return cached
 
     def degree(self, v: Node) -> int:
         """Degree of ``v`` — the number of edges incident to it."""
@@ -190,7 +204,9 @@ class Graph:
         """Nodes reachable from ``source`` without entering ``forbidden``.
 
         ``source`` itself must not be forbidden.  Used for cut detection:
-        ``G`` minus a vertex cut splits reachability.
+        ``G`` minus a vertex cut splits reachability.  Expands sorted
+        adjacency so the visit order (and any downstream consumer of it)
+        is hash-seed independent by construction.
         """
         blocked = set(forbidden)
         if source in blocked:
@@ -201,7 +217,7 @@ class Graph:
         queue = deque([source])
         while queue:
             u = queue.popleft()
-            for v in self._adj[u]:
+            for v in self.sorted_neighbors(u):
                 if v not in seen and v not in blocked:
                     seen.add(v)
                     queue.append(v)
@@ -226,7 +242,12 @@ class Graph:
         return components
 
     def shortest_path(self, u: Node, v: Node) -> tuple[Node, ...] | None:
-        """A shortest ``uv``-path as a node tuple, or ``None`` if disconnected."""
+        """A shortest ``uv``-path as a node tuple, or ``None`` if disconnected.
+
+        BFS expands sorted adjacency, so among equal-length paths the
+        returned one is a pure function of the graph (the parent choice
+        never leaks set iteration order).
+        """
         if u not in self._nodes or v not in self._nodes:
             raise GraphError("both endpoints must be graph nodes")
         if u == v:
@@ -235,7 +256,7 @@ class Graph:
         queue = deque([u])
         while queue:
             x = queue.popleft()
-            for y in self._adj[x]:
+            for y in self.sorted_neighbors(x):
                 if y not in parent:
                     parent[y] = x
                     if y == v:

@@ -1,9 +1,15 @@
-"""Synchronous network substrate: simulator, channels, messages, adversaries.
+"""Network substrate: simulators, schedulers, channels, adversaries.
 
 This subpackage implements the system model of Section 3 — synchronous
 rounds over FIFO links on an undirected graph — with the three channel
 models the paper studies (local broadcast, point-to-point, hybrid) and a
 library of Byzantine behaviors used across every experiment.
+
+Message *timing* is a pluggable axis: :mod:`repro.net.sched` provides an
+event-driven core (:class:`EventDrivenNetwork`) whose lockstep scheduler
+reproduces :class:`SynchronousNetwork` byte-for-byte, plus seeded-random
+and adversarial timing models for asynchronous experiments
+(arXiv:1909.02865).
 """
 
 from .adversary2 import (
@@ -42,24 +48,38 @@ from .messages import (
     ValuePayload,
 )
 from .node import Context, Inbox, Outgoing, Protocol
+from .sched import (
+    AdversarialScheduler,
+    EventDrivenNetwork,
+    LockstepScheduler,
+    Scheduler,
+    SchedulerSpec,
+    SchedulingError,
+    SeededAsyncScheduler,
+    parse_scheduler,
+)
 from .simulator import SimulationError, SynchronousNetwork
-from .trace import Trace, Transmission
+from .trace import Delivery, Trace, Transmission
 
 __all__ = [
     "Adversary",
+    "AdversarialScheduler",
     "ChannelModel",
     "Context",
     "CrashAdversary",
     "DecisionForgeAdversary",
     "DecisionPayload",
+    "Delivery",
     "DirectMessage",
     "DropForwardAdversary",
     "EquivocatingAdversary",
     "EquivocationError",
+    "EventDrivenNetwork",
     "FaultSpec",
     "FloodMessage",
     "HonestFactory",
     "Inbox",
+    "LockstepScheduler",
     "LyingInitAdversary",
     "LyingReporterAdversary",
     "Outgoing",
@@ -67,6 +87,10 @@ __all__ = [
     "RandomAdversary",
     "ReplayAdversary",
     "ReportPayload",
+    "Scheduler",
+    "SchedulerSpec",
+    "SchedulingError",
+    "SeededAsyncScheduler",
     "SilentAdversary",
     "SilentReporterAdversary",
     "SimulationError",
@@ -80,5 +104,6 @@ __all__ = [
     "local_broadcast_model",
     "point_to_point_model",
     "algorithm2_attack_battery",
+    "parse_scheduler",
     "standard_adversaries",
 ]

@@ -93,6 +93,7 @@ class _WrapperProtocol(Protocol):
             round_no=ctx.round_no,
             channel=ctx.channel,
             inbox=ctx.inbox,
+            now=ctx.now,
         )
         self.inner.on_round(shadow)
         for message, target in self.transform(

@@ -16,6 +16,13 @@ protocol (or adversary) running on a non-equivocating node simply has no
 working unicast primitive — attempting one raises
 :class:`EquivocationError`.  This keeps the model guarantee out of the
 trusted-code base of each protocol: adversaries cannot opt out of physics.
+
+Division of labor with the scheduling subsystem: the channel model owns
+*content* physics (who may say different things to different neighbors),
+while :mod:`repro.net.sched` owns *timing* physics (FIFO per link,
+local-broadcast atomicity in time, causal delivery).  A timing adversary
+therefore still cannot equivocate, and an equivocator still cannot beat
+the link FIFO order.
 """
 
 from __future__ import annotations

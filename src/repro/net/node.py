@@ -42,6 +42,11 @@ class Context:
     :class:`EquivocationError` unless the channel model grants this node
     point-to-point power.  Protocols must not keep references across
     rounds; all cross-round state belongs in the protocol object.
+
+    ``now`` is the virtual timestamp of this activation.  Under the
+    synchronous simulator (and the lockstep scheduler) it equals
+    ``round_no``; asynchronous schedulers may eventually decouple the
+    two, so timing-aware protocols should read ``virtual_now``.
     """
 
     node: Hashable
@@ -50,6 +55,12 @@ class Context:
     channel: ChannelModel
     inbox: Inbox
     outbox: List[Outgoing] = field(default_factory=list)
+    now: Optional[int] = None
+
+    @property
+    def virtual_now(self) -> int:
+        """The virtual clock at this activation (``round_no`` fallback)."""
+        return self.round_no if self.now is None else self.now
 
     def broadcast(self, message: object) -> None:
         """Queue ``message`` for delivery to *all* neighbors next round."""

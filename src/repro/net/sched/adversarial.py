@@ -1,0 +1,93 @@
+"""A worst-case timing adversary within the model's physics.
+
+The adversary controls *when* — never *what* or *to whom*: it assigns
+each delivery a delay in ``{1, …, max_delay}`` subject to the base
+class's FIFO-per-link clamp and (unlike the seeded scheduler) full
+local-broadcast atomicity, the timing analogue of "received identically
+by each of its neighbors".
+
+Strategy — maximize disagreement windows.  Disagreement between honest
+nodes persists as long as the information reconciling them is in
+flight, so the adversary stretches exactly the traffic that crosses the
+graph's sparsest information bottleneck:
+
+1. at :meth:`bind`, compute a minimum vertex cut and the two (or more)
+   sides it separates — the paper's feasibility conditions (Theorems
+   4.1/5.1) make the cut *the* place where consensus is fragile;
+2. every delivery whose sender and recipient lie on different sides, or
+   that involves a cut node, takes ``max_delay`` ticks;
+3. traffic within one side is delivered at unit delay, so each side
+   converges *internally* as fast as possible — onto different states.
+
+Broadcast atomicity then drags every broadcast by a boundary node up to
+``max_delay`` (the slowest recipient sets the shared instant), which is
+precisely the constraint's bite: the adversary cannot rush a broadcast
+to one side while stalling it to the other.
+
+For complete (cut-free) or disconnected graphs the fallback bottleneck
+is the canonical half-split of the repr-sorted node order.  Everything
+is deterministic — the schedule is a pure function of (graph,
+max_delay), so adversarial sweeps stay byte-identical across runs and
+worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from ...graphs import Graph, GraphError, minimum_vertex_cut
+from ..channels import ChannelModel
+from .base import Scheduler
+from .events import SendEvent
+
+#: Side label for cut nodes (and anything else straddling the bottleneck).
+_BOUNDARY = -1
+
+
+class AdversarialScheduler(Scheduler):
+    """Cut-straddling delays that keep the two sides maximally stale."""
+
+    name = "adversarial"
+    atomic_broadcast = True
+
+    def __init__(self, max_delay: int = 3):
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        self.max_delay = max_delay
+
+    def bind(self, graph: Graph, channel: ChannelModel) -> None:
+        super().bind(graph, channel)
+        self._side = self._partition(graph)
+
+    @staticmethod
+    def _partition(graph: Graph) -> Dict[Hashable, int]:
+        """Label each node with its bottleneck side (cut nodes: boundary)."""
+        side: Dict[Hashable, int] = {}
+        try:
+            cut = minimum_vertex_cut(graph)
+        except GraphError:
+            # Complete or disconnected: no proper vertex cut exists.
+            # Fall back to the canonical half-split of the node order.
+            nodes = sorted(graph.nodes, key=repr)
+            half = (len(nodes) + 1) // 2
+            for i, v in enumerate(nodes):
+                side[v] = 0 if i < half else 1
+            return side
+        for v in cut:
+            side[v] = _BOUNDARY
+        remainder = graph.remove_nodes(cut)
+        components = sorted(
+            remainder.connected_components(),
+            key=lambda comp: repr(sorted(comp, key=repr)),
+        )
+        for index, component in enumerate(components):
+            for v in component:
+                side[v] = index
+        return side
+
+    def delay(self, send: SendEvent, recipient: Hashable) -> int:
+        a = self._side.get(send.sender, _BOUNDARY)
+        b = self._side.get(recipient, _BOUNDARY)
+        if a == _BOUNDARY or b == _BOUNDARY or a != b:
+            return self.max_delay
+        return 1

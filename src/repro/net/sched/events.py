@@ -1,0 +1,58 @@
+"""Event types of the event-driven simulation core.
+
+Two events exist in the model:
+
+* a :class:`SendEvent` — a transmission leaving a node at a virtual
+  time, with its realized recipient set already resolved by the channel
+  model.  Schedulers consume these to assign delivery timestamps;
+* a :class:`DeliveryEvent` — one (message, recipient) pair landing at a
+  virtual time.  The core keeps these in a priority queue ordered by
+  ``(time, seq)``; the global sequence number makes the order total and
+  preserves FIFO among same-instant deliveries.
+
+Virtual time is integral.  Activations happen at ticks 1, 2, 3, …; a
+message sent at tick ``t`` may be delivered no earlier than ``t + 1``
+(no zero-latency links — the synchronous model's "next round" rule is
+the ``delay = 1`` special case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class SendEvent:
+    """One transmission as the scheduler sees it.
+
+    ``seq`` is the global send sequence number (total order over all
+    sends of a run); ``time`` the virtual send instant; ``target`` is
+    ``None`` for a local broadcast.  ``recipients`` is the realized
+    delivery set in canonical (repr-sorted neighbor) order — schedulers
+    must iterate it in this order so any randomness they consume is
+    replayable.
+    """
+
+    seq: int
+    time: int
+    sender: Hashable
+    message: object
+    target: Optional[Hashable]
+    recipients: Tuple[Hashable, ...]
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.target is None
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryEvent:
+    """One pending (message, recipient) delivery at virtual ``time``."""
+
+    time: int
+    seq: int
+    sender: Hashable
+    recipient: Hashable
+    message: object
+    sent_at: int

@@ -1,0 +1,69 @@
+"""Picklable scheduler *specifications* for sweeps and the CLI.
+
+Schedulers are single-run objects (link clocks, RNG state), so anything
+that fans runs out — :func:`repro.analysis.sweep.consensus_sweep`
+tasks shipped to worker processes, or the CLI — carries a frozen
+:class:`SchedulerSpec` instead and builds a fresh scheduler per run
+with :meth:`SchedulerSpec.build`.  ``None`` in a scheduler axis means
+the classic :class:`~repro.net.simulator.SynchronousNetwork` fast path
+(reported as ``"sync"``; trace-equivalent to ``"lockstep"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...graphs import Graph
+from .adversarial import AdversarialScheduler
+from .base import Scheduler
+from .lockstep import LockstepScheduler
+from .seeded import SeededAsyncScheduler
+
+SCHEDULER_KINDS = ("lockstep", "seeded-async", "adversarial")
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """A frozen, picklable recipe for one scheduler.
+
+    ``seed`` only matters for ``seeded-async``; ``max_delay`` for the
+    two asynchronous kinds.  Equality/hash follow the dataclass fields,
+    so specs are safe dictionary keys and sweep-axis members.
+    """
+
+    kind: str
+    seed: int = 0
+    max_delay: int = 3
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULER_KINDS:
+            raise ValueError(
+                f"unknown scheduler kind {self.kind!r}; "
+                f"choose from {list(SCHEDULER_KINDS)}"
+            )
+        if self.max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """The label sweep records and reports carry."""
+        return self.kind
+
+    def build(self, graph: Graph) -> Scheduler:
+        """A fresh, unbound scheduler for one run on ``graph``."""
+        if self.kind == "lockstep":
+            return LockstepScheduler()
+        if self.kind == "seeded-async":
+            return SeededAsyncScheduler(seed=self.seed, max_delay=self.max_delay)
+        return AdversarialScheduler(max_delay=self.max_delay)
+
+
+def parse_scheduler(
+    spec: str, seed: int = 0, max_delay: int = 3
+) -> "SchedulerSpec | None":
+    """Parse a CLI scheduler token: a kind name, or ``sync`` for the
+    synchronous fast path (returned as ``None``)."""
+    token = spec.strip()
+    if token in ("", "sync"):
+        return None
+    return SchedulerSpec(kind=token, seed=seed, max_delay=max_delay)

@@ -18,6 +18,13 @@ Determinism: nodes are stepped in sorted order and inboxes preserve
 per-sender FIFO order, so a run is a pure function of (graph, protocols,
 channel model, rounds).  Any randomness lives inside protocols/adversaries
 behind explicit seeds.
+
+:class:`SynchronousNetwork` is the fixed-timing special case of the
+event-driven core in :mod:`repro.net.sched`: running the same protocols
+on :class:`~repro.net.sched.EventDrivenNetwork` under the lockstep
+scheduler produces a byte-identical trace (property-tested), while the
+seeded and adversarial schedulers explore the asynchronous timings of
+the follow-up paper (arXiv:1909.02865).
 """
 
 from __future__ import annotations
@@ -27,15 +34,25 @@ from typing import Dict, Hashable, Mapping, Optional
 from ..graphs import Graph
 from .channels import ChannelModel, local_broadcast_model
 from .node import Context, Inbox, Protocol
-from .trace import Trace, Transmission
+from .trace import Delivery, Trace, Transmission
 
 
 class SimulationError(RuntimeError):
     """Raised when a run cannot proceed (missing protocols, bad config)."""
 
 
-class SynchronousNetwork:
-    """Run a set of per-node protocols in lockstep on a graph."""
+class NetworkEngine:
+    """State and run loop shared by both simulation engines.
+
+    :class:`SynchronousNetwork` and
+    :class:`~repro.net.sched.EventDrivenNetwork` differ only in *when*
+    a queued send reaches its recipients; everything else — protocol
+    coverage validation, recipient resolution with channel enforcement,
+    the ``run``/``run_until_decided`` loop, output collection — lives
+    here so the two engines cannot drift apart (their trace equivalence
+    under lockstep timing is a tested contract).  Subclasses implement
+    :meth:`step`.
+    """
 
     def __init__(
         self,
@@ -54,55 +71,32 @@ class SynchronousNetwork:
         self.channel = channel if channel is not None else local_broadcast_model()
         self.trace = Trace()
         self.round_no = 0
-        self._pending: Dict[Hashable, Inbox] = {v: [] for v in graph.nodes}
         self._order = sorted(graph.nodes, key=repr)
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Execute one synchronous round."""
-        self.round_no += 1
-        inboxes, self._pending = self._pending, {v: [] for v in self.graph.nodes}
-        outboxes: list[tuple[Hashable, Context]] = []
-        for node in self._order:
-            ctx = Context(
-                node=node,
-                graph=self.graph,
-                round_no=self.round_no,
-                channel=self.channel,
-                inbox=inboxes[node],
-            )
-            self.protocols[node].on_round(ctx)
-            outboxes.append((node, ctx))
-        for node, ctx in outboxes:
-            neighbors = sorted(self.graph.neighbors(node), key=repr)
-            for out in ctx.outbox:
-                if out.target is None:
-                    recipients = tuple(neighbors)
-                else:
-                    # Defense in depth: Context.send already rejects
-                    # unicasts from broadcast-restricted nodes, but a
-                    # protocol appending to the outbox directly must not
-                    # bypass the channel model either.
-                    if not self.channel.may_unicast(node):
-                        raise SimulationError(
-                            f"node {node!r} attempted unicast under "
-                            f"{self.channel.kind} channel"
-                        )
-                    recipients = (out.target,)
-                self.trace.record(
-                    Transmission(
-                        round_no=self.round_no,
-                        sender=node,
-                        message=out.message,
-                        target=out.target,
-                        recipients=recipients,
-                    )
-                )
-                for r in recipients:
-                    self._pending[r].append((node, out.message))
-        if self.trace.rounds < self.round_no:
-            self.trace.rounds = self.round_no
+        """Advance one round/tick.  Implemented by each engine."""
+        raise NotImplementedError
 
+    def _resolve_recipients(
+        self, node: Hashable, target: Optional[Hashable]
+    ) -> tuple:
+        """The realized delivery set of one send, channel-enforced.
+
+        Defense in depth: :meth:`Context.send` already rejects unicasts
+        from broadcast-restricted nodes, but a protocol appending to the
+        outbox directly must not bypass the channel model either.
+        """
+        if target is None:
+            return self.graph.sorted_neighbors(node)
+        if not self.channel.may_unicast(node):
+            raise SimulationError(
+                f"node {node!r} attempted unicast under "
+                f"{self.channel.kind} channel"
+            )
+        return (target,)
+
+    # ------------------------------------------------------------------
     def run(self, rounds: int) -> Trace:
         """Run exactly ``rounds`` rounds (protocols may finish earlier)."""
         for _ in range(rounds):
@@ -133,3 +127,65 @@ class SynchronousNetwork:
     def outputs(self) -> Dict[Hashable, Optional[int]]:
         """Each node's current output (``None`` while undecided)."""
         return {v: p.output() for v, p in self.protocols.items()}
+
+
+class SynchronousNetwork(NetworkEngine):
+    """Run a set of per-node protocols in lockstep on a graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        protocols: Mapping[Hashable, Protocol],
+        channel: Optional[ChannelModel] = None,
+    ):
+        super().__init__(graph, protocols, channel)
+        self._pending: Dict[Hashable, Inbox] = {v: [] for v in graph.nodes}
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one synchronous round."""
+        self.round_no += 1
+        inboxes, self._pending = self._pending, {v: [] for v in self.graph.nodes}
+        outboxes: list[tuple[Hashable, Context]] = []
+        for node in self._order:
+            ctx = Context(
+                node=node,
+                graph=self.graph,
+                round_no=self.round_no,
+                channel=self.channel,
+                inbox=inboxes[node],
+                now=self.round_no,
+            )
+            self.protocols[node].on_round(ctx)
+            outboxes.append((node, ctx))
+        for node, ctx in outboxes:
+            for out in ctx.outbox:
+                recipients = self._resolve_recipients(node, out.target)
+                send_index = len(self.trace.transmissions)
+                self.trace.record(
+                    Transmission(
+                        round_no=self.round_no,
+                        sender=node,
+                        message=out.message,
+                        target=out.target,
+                        recipients=recipients,
+                        sent_at=self.round_no,
+                    )
+                )
+                for r in recipients:
+                    # Synchronous delivery: into next round's inbox, so
+                    # the virtual delivery timestamp is sent_at + 1 —
+                    # exactly what the lockstep scheduler reproduces.
+                    self.trace.record_delivery(
+                        Delivery(
+                            send_index=send_index,
+                            sender=node,
+                            recipient=r,
+                            message=out.message,
+                            sent_at=self.round_no,
+                            delivered_at=self.round_no + 1,
+                        )
+                    )
+                    self._pending[r].append((node, out.message))
+        if self.trace.rounds < self.round_no:
+            self.trace.rounds = self.round_no

@@ -7,6 +7,13 @@ The trace is the simulator's ground truth.  It drives:
 * the impossibility experiments, which record an execution ``E`` on the
   covering network and *replay* faulty nodes' transmissions into the
   executions ``E1, E2, E3`` (Appendices A and D);
+* the scheduler subsystem (:mod:`repro.net.sched`), whose delivery
+  events carry virtual timestamps: every :class:`Transmission` records
+  the virtual time it was sent (``sent_at``) and every per-recipient
+  :class:`Delivery` the virtual time it landed (``delivered_at``).
+  Under the synchronous simulator virtual time coincides with the round
+  number, so synchronous and lockstep event-driven traces are directly
+  comparable;
 * debugging: a faithful log of who said what, when, to whom.
 """
 
@@ -20,26 +27,62 @@ from typing import Hashable, List, Optional, Tuple
 class Transmission:
     """One send event.  ``target is None`` means local broadcast;
     ``recipients`` is the realized delivery set (the sender's neighbors
-    for a broadcast, the single target otherwise)."""
+    for a broadcast, the single target otherwise).  ``sent_at`` is the
+    virtual timestamp of the send — equal to ``round_no`` under the
+    synchronous simulator and the lockstep scheduler."""
 
     round_no: int
     sender: Hashable
     message: object
     target: Optional[Hashable]
     recipients: Tuple[Hashable, ...]
+    sent_at: Optional[int] = None
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """One (message, recipient) delivery with its virtual timing.
+
+    ``send_index`` is the position of the originating
+    :class:`Transmission` in ``Trace.transmissions``, so a delivery can
+    always be joined back to its send.  Under synchronous/lockstep
+    execution ``delivered_at == sent_at + 1``; asynchronous schedulers
+    assign later timestamps (bounded by their ``max_delay``)."""
+
+    send_index: int
+    sender: Hashable
+    recipient: Hashable
+    message: object
+    sent_at: int
+    delivered_at: int
+
+    @property
+    def latency(self) -> int:
+        """Virtual time the message spent in flight."""
+        return self.delivered_at - self.sent_at
 
 
 @dataclass(slots=True)
 class Trace:
-    """An append-only log of transmissions plus run metadata."""
+    """An append-only log of transmissions plus run metadata.
+
+    ``deliveries`` is the per-recipient view of the same traffic with
+    virtual delivery timestamps; both simulators append a
+    :class:`Delivery` per recipient at send time (in recipient order),
+    so the two logs always line up.
+    """
 
     transmissions: List[Transmission] = field(default_factory=list)
+    deliveries: List[Delivery] = field(default_factory=list)
     rounds: int = 0
 
     def record(self, t: Transmission) -> None:
         self.transmissions.append(t)
         if t.round_no > self.rounds:
             self.rounds = t.round_no
+
+    def record_delivery(self, d: Delivery) -> None:
+        self.deliveries.append(d)
 
     # ------------------------------------------------------------------
     # Accounting
@@ -68,6 +111,22 @@ class Trace:
 
     def per_round(self, round_no: int) -> list[Transmission]:
         return [t for t in self.transmissions if t.round_no == round_no]
+
+    def deliveries_on_link(
+        self, sender: Hashable, recipient: Hashable
+    ) -> list[Delivery]:
+        """All deliveries over one directed link, in send (FIFO) order."""
+        return [
+            d
+            for d in self.deliveries
+            if d.sender == sender and d.recipient == recipient
+        ]
+
+    @property
+    def max_latency(self) -> int:
+        """The largest virtual in-flight time over all deliveries
+        (0 for an empty trace — and always 1 under lockstep timing)."""
+        return max((d.latency for d in self.deliveries), default=0)
 
     def replay_schedule(self, node: Hashable) -> dict[int, list[Transmission]]:
         """``node``'s transmissions grouped by round — the exact shape a

@@ -101,8 +101,9 @@ class TestReportSerialization:
         record = payload["records"][0]
         assert set(record) == {
             "faulty", "adversary", "inputs_name", "consensus", "agreement",
-            "validity", "rounds", "transmissions", "decision",
+            "validity", "rounds", "transmissions", "decision", "scheduler",
         }
+        assert record["scheduler"] == "sync"
 
     def test_json_round_trip(self, c4):
         import json

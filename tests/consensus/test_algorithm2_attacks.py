@@ -109,3 +109,75 @@ class TestMixedMultiFault:
             f=2, faulty=[0, 3], adversary=adversary,
         )
         assert res.consensus
+
+
+class TestEarlyFabricationSoundness:
+    """Regression: a faulty node fabricating a correct-valued forward
+    *ahead of schedule* must not get its honest downstream victims
+    blamed.  Found by hypothesis (C4, RandomAdversary seed 562, faulty
+    node 3): the honest neighbor accepted the early copy, forwarded one
+    round early, rule (ii) swallowed the on-schedule duplicate, and the
+    exact-round omission check marked the honest node faulty — two
+    honest nodes each 'detected' two faults with f = 1 and disagreed."""
+
+    def test_seed_562_falsifying_example(self, c4):
+        from repro.net import RandomAdversary
+
+        seed, faulty = 562, 3
+        inputs = {v: (seed >> v) & 1 for v in c4.nodes}
+        res = run_consensus(
+            c4, algorithm2_factory(c4, 1), inputs, f=1,
+            faulty=[faulty], adversary=RandomAdversary(seed=seed),
+        )
+        assert res.consensus
+
+    def test_detection_never_exceeds_f_and_never_blames_honest(self, c4):
+        from repro.net import RandomAdversary
+
+        for seed in (562, 563, 1201, 4077, 9900):
+            for faulty in range(4):
+                inputs = {v: (seed >> v) & 1 for v in c4.nodes}
+                factory = algorithm2_factory(c4, 1)
+                res = run_consensus(
+                    c4, factory, inputs, f=1,
+                    faulty=[faulty], adversary=RandomAdversary(seed=seed),
+                )
+                assert res.consensus, (seed, faulty)
+
+    def test_early_fabricator_is_the_one_detected(self, c4):
+        """A surgical early fabricator: in round 1, alongside its honest
+        initiation, it also broadcasts a forward of its neighbor's true
+        value — physically impossible for an honest node.  Localization
+        must blame the fabricator, never the honest forwarders."""
+        from repro.consensus.algorithm2 import Algorithm2Protocol
+        from repro.net import Adversary, FloodMessage, ValuePayload
+        from repro.net.adversary import _WrapperProtocol
+
+        class EarlyFabricator(Adversary):
+            name = "early-fabricate"
+
+            def build(self, spec):
+                neighbor = min(spec.graph.neighbors(spec.node))
+
+                class _Early(_WrapperProtocol):
+                    def transform(self, outbox, ctx):
+                        if ctx.round_no == 1:
+                            outbox = outbox + [(
+                                FloodMessage(
+                                    Algorithm2Protocol.PHASE1,
+                                    ValuePayload(0),
+                                    (neighbor,),
+                                ),
+                                None,
+                            )]
+                        return outbox
+
+                return _Early(spec.honest())
+
+        inputs = {0: 0, 1: 1, 2: 0, 3: 0}
+        factory = algorithm2_factory(c4, 1)
+        res = run_consensus(
+            c4, factory, inputs, f=1, faulty=[3],
+            adversary=EarlyFabricator(),
+        )
+        assert res.consensus

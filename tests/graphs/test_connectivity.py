@@ -207,3 +207,41 @@ class TestMinimumCut:
         cut = minimum_vertex_cut(g)
         assert len(cut) == vertex_connectivity(g)
         assert not g.remove_nodes(cut).is_connected()
+
+
+class TestConnectivityMemo:
+    def test_repeat_queries_hit_the_lru(self):
+        g = petersen_graph()
+        vertex_connectivity.cache_clear()
+        first = vertex_connectivity(g)
+        before = vertex_connectivity.cache_info()
+        # An equal-but-distinct Graph object must hit the same cache line
+        # (the cache is keyed on graph value, not identity).
+        again = vertex_connectivity(petersen_graph())
+        after = vertex_connectivity.cache_info()
+        assert first == again == 3
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_cached_results_match_fresh_computation(self):
+        from repro.graphs.connectivity import _vertex_connectivity_uncached
+
+        for g in (cycle_graph(5), complete_graph(6), harary_graph(4, 9),
+                  Graph(nodes=[0, 1]), Graph()):
+            vertex_connectivity.cache_clear()
+            assert vertex_connectivity(g) == vertex_connectivity(g)
+            assert (
+                vertex_connectivity(g)
+                == _vertex_connectivity_uncached.__wrapped__(g)
+            )
+
+    def test_feasibility_checks_reuse_the_cache(self):
+        from repro.consensus import check_local_broadcast
+
+        g = paper_figure_1b()
+        vertex_connectivity.cache_clear()
+        check_local_broadcast(g, 2)
+        misses_after_first = vertex_connectivity.cache_info().misses
+        check_local_broadcast(g, 2)
+        check_local_broadcast(g, 1)
+        assert vertex_connectivity.cache_info().misses == misses_after_first

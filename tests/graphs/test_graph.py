@@ -165,3 +165,46 @@ class TestTraversal:
     def test_shortest_path_unknown_node(self):
         with pytest.raises(GraphError):
             cycle_graph(3).shortest_path(0, 42)
+
+
+class TestSortedTraversalDeterminism:
+    """Traversals iterate repr-sorted adjacency by construction, so their
+    results never depend on PYTHONHASHSEED (string-labeled nodes would
+    otherwise leak frozenset iteration order)."""
+
+    DIAMOND = [("s", "a"), ("s", "b"), ("a", "t"), ("b", "t")]
+
+    def test_sorted_neighbors_order_and_cache(self):
+        g = Graph.from_edges(self.DIAMOND)
+        assert g.sorted_neighbors("s") == ("a", "b")
+        assert g.sorted_neighbors("s") is g.sorted_neighbors("s")  # cached
+
+    def test_sorted_neighbors_unknown_node(self):
+        with pytest.raises(GraphError):
+            Graph.from_edges(self.DIAMOND).sorted_neighbors("zz")
+
+    def test_shortest_path_prefers_repr_smallest_parent(self):
+        g = Graph.from_edges(self.DIAMOND)
+        # Two equal-length s-t paths exist; BFS over sorted adjacency
+        # must always discover t via "a".
+        assert g.shortest_path("s", "t") == ("s", "a", "t")
+
+    def test_traversals_stable_across_subprocess_hash_seeds(self):
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.graphs import Graph\n"
+            "g = Graph.from_edges(%r)\n"
+            "print(g.shortest_path('s', 't'))\n"
+            "print(sorted(g.bfs_reachable('s'), key=repr))\n"
+        ) % (self.DIAMOND,)
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONPATH": "src", "PYTHONHASHSEED": str(seed)},
+            ).stdout
+            for seed in (0, 1, 42)
+        }
+        assert len(outputs) == 1

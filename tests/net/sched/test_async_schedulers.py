@@ -1,0 +1,198 @@
+"""Asynchronous schedulers: determinism, physics constraints, adversary.
+
+The seeded scheduler must be a pure function of its seed (identical
+traces and decisions across repeated runs); every scheduler must respect
+causality, the delay bound, and FIFO per link; the adversarial scheduler
+must additionally keep broadcasts atomic in time and actually stretch
+cut-straddling traffic.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.consensus import algorithm1_factory, run_consensus
+from repro.graphs import complete_graph, cycle_graph, paper_figure_1a
+from repro.net import (
+    AdversarialScheduler,
+    EventDrivenNetwork,
+    LockstepScheduler,
+    Protocol,
+    SchedulerSpec,
+    SchedulingError,
+    SeededAsyncScheduler,
+    TamperForwardAdversary,
+)
+from repro.net.sched import parse_scheduler
+
+
+class Echo(Protocol):
+    def __init__(self, tag):
+        self.tag = tag
+        self.heard = []
+
+    def on_round(self, ctx):
+        self.heard.append(list(ctx.inbox))
+        if ctx.round_no <= 4:
+            ctx.broadcast((self.tag, ctx.round_no))
+
+    def output(self):
+        return None
+
+
+def run_network(graph, scheduler, rounds=10):
+    net = EventDrivenNetwork(graph, {v: Echo(v) for v in graph.nodes}, scheduler)
+    net.run(rounds)
+    return net
+
+
+def assert_physics(trace, max_delay):
+    """Causality, bounded delay, FIFO per directed link."""
+    for d in trace.deliveries:
+        assert d.sent_at < d.delivered_at <= d.sent_at + max_delay
+    per_link = defaultdict(list)
+    for d in trace.deliveries:
+        per_link[(d.sender, d.recipient)].append(d.delivered_at)
+    for times in per_link.values():
+        assert times == sorted(times)  # deliveries never overtake (FIFO)
+
+
+class TestSeededAsync:
+    def test_identical_traces_across_repeated_runs(self):
+        g = cycle_graph(5)
+        a = run_network(g, SeededAsyncScheduler(seed=11, max_delay=3))
+        b = run_network(g, SeededAsyncScheduler(seed=11, max_delay=3))
+        assert a.trace.transmissions == b.trace.transmissions
+        assert a.trace.deliveries == b.trace.deliveries
+        for v in g.nodes:
+            assert a.protocols[v].heard == b.protocols[v].heard
+
+    def test_different_seeds_differ(self):
+        g = cycle_graph(5)
+        a = run_network(g, SeededAsyncScheduler(seed=1, max_delay=4))
+        b = run_network(g, SeededAsyncScheduler(seed=2, max_delay=4))
+        assert a.trace.deliveries != b.trace.deliveries
+
+    @pytest.mark.parametrize("max_delay", [1, 2, 4])
+    def test_physics_constraints(self, max_delay):
+        g = paper_figure_1a()
+        net = run_network(g, SeededAsyncScheduler(seed=3, max_delay=max_delay))
+        assert_physics(net.trace, max_delay)
+
+    def test_max_delay_one_is_lockstep(self):
+        g = cycle_graph(4)
+        seeded = run_network(g, SeededAsyncScheduler(seed=9, max_delay=1))
+        lock = run_network(g, LockstepScheduler())
+        assert seeded.trace.deliveries == lock.trace.deliveries
+
+    def test_scheduler_is_reusable_after_rebind(self):
+        """bind() resets all per-run state, so one instance replays."""
+        g = cycle_graph(4)
+        scheduler = SeededAsyncScheduler(seed=5, max_delay=3)
+        a = run_network(g, scheduler)
+        b = run_network(g, scheduler)
+        assert a.trace.deliveries == b.trace.deliveries
+
+    def test_invalid_max_delay(self):
+        with pytest.raises(ValueError):
+            SeededAsyncScheduler(seed=0, max_delay=0)
+
+
+class TestAdversarial:
+    def test_broadcast_atomicity(self):
+        g = paper_figure_1a()
+        net = run_network(g, AdversarialScheduler(max_delay=4))
+        instants = defaultdict(set)
+        for d in net.trace.deliveries:
+            instants[d.send_index].add(d.delivered_at)
+        assert instants and all(len(s) == 1 for s in instants.values())
+
+    def test_physics_constraints(self):
+        g = paper_figure_1a()
+        net = run_network(g, AdversarialScheduler(max_delay=5))
+        assert_physics(net.trace, 5)
+
+    def test_cut_straddling_traffic_is_stretched(self):
+        g = paper_figure_1a()  # 5-cycle: every min cut is 2 non-adjacent nodes
+        net = run_network(g, AdversarialScheduler(max_delay=4))
+        assert net.trace.max_latency == 4
+
+    def test_deterministic_across_runs(self):
+        g = complete_graph(4)  # exercises the no-cut fallback split
+        a = run_network(g, AdversarialScheduler(max_delay=3))
+        b = run_network(g, AdversarialScheduler(max_delay=3))
+        assert a.trace.deliveries == b.trace.deliveries
+
+    def test_complete_graph_fallback_still_delays_something(self):
+        g = complete_graph(5)
+        net = run_network(g, AdversarialScheduler(max_delay=3))
+        assert net.trace.max_latency == 3
+
+
+class TestSchedulerErrors:
+    def test_zero_delay_is_rejected(self):
+        class Cheater(LockstepScheduler):
+            def delay(self, send, recipient):
+                return 0
+
+        g = cycle_graph(4)
+        with pytest.raises(SchedulingError):
+            run_network(g, Cheater(), rounds=2)
+
+
+class TestSchedulerSpec:
+    def test_build_kinds(self):
+        g = cycle_graph(4)
+        assert isinstance(SchedulerSpec("lockstep").build(g), LockstepScheduler)
+        seeded = SchedulerSpec("seeded-async", seed=7, max_delay=5).build(g)
+        assert isinstance(seeded, SeededAsyncScheduler)
+        assert (seeded.seed, seeded.max_delay) == (7, 5)
+        adv = SchedulerSpec("adversarial", max_delay=2).build(g)
+        assert isinstance(adv, AdversarialScheduler)
+        assert adv.max_delay == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerSpec("chrono")
+
+    def test_parse_scheduler(self):
+        assert parse_scheduler("sync") is None
+        assert parse_scheduler("") is None
+        spec = parse_scheduler("seeded-async", seed=3, max_delay=2)
+        assert spec == SchedulerSpec("seeded-async", seed=3, max_delay=2)
+
+    def test_specs_are_picklable_and_hashable(self):
+        import pickle
+
+        spec = SchedulerSpec("adversarial", max_delay=4)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, SchedulerSpec("adversarial", max_delay=4)}) == 1
+
+
+class TestRunnerIntegration:
+    def test_seeded_run_consensus_is_deterministic(self):
+        g = paper_figure_1a()
+        spec = SchedulerSpec("seeded-async", seed=13, max_delay=3)
+        inputs = {v: v % 2 for v in g.nodes}
+
+        def once():
+            return run_consensus(
+                g,
+                algorithm1_factory(g, 1),
+                inputs,
+                f=1,
+                faulty=[2],
+                adversary=TamperForwardAdversary(),
+                scheduler=spec,
+            )
+
+        a, b = once(), once()
+        assert a.trace.transmissions == b.trace.transmissions
+        assert a.trace.deliveries == b.trace.deliveries
+        assert a.outputs == b.outputs
+        assert (a.consensus, a.agreement, a.validity, a.decision) == (
+            b.consensus,
+            b.agreement,
+            b.validity,
+            b.decision,
+        )
