@@ -20,6 +20,14 @@ synchronous simulator), ``lockstep`` (event-driven core, trace-identical
 to ``sync``), ``seeded-async`` (seeded random per-link delays),
 ``adversarial`` (worst-case cut-straddling timing).  ``sweep`` accepts a
 comma-separated list to multiply the work-list by a timing axis.
+
+``--synchronizer alpha|ack`` wraps the chosen algorithm in the
+α-synchronizer (:mod:`repro.consensus.synchronizer`), which recovers
+the synchronous round abstraction — and with it consensus — under the
+asynchronous schedulers::
+
+    python -m repro sweep --graph cycle:4 --f 1 --algorithm 2 \\
+                          --scheduler seeded-async --synchronizer alpha
 """
 
 from __future__ import annotations
@@ -34,8 +42,8 @@ from .lowerbounds import (
     degree_scenario,
     run_scenario,
 )
-from .net import standard_adversaries
-from .net.channels import hybrid_model, local_broadcast_model
+from .net import EquivocatingAdversary, standard_adversaries
+from .net.channels import local_broadcast_model
 from .net.sched import SCHEDULER_KINDS, parse_scheduler
 
 
@@ -75,13 +83,31 @@ def parse_graph(spec: str) -> graphs.Graph:
 
 
 def parse_scheduler_axis(spec: str, seed: int, max_delay: int):
-    """Parse a comma-separated ``--scheduler`` list into a sweep axis."""
+    """Parse a comma-separated ``--scheduler`` list into a sweep axis.
+
+    Malformed lists fail loudly: an empty token (``sync,`` / ``,,sync``)
+    would silently duplicate the synchronous fast path, and a repeated
+    kind would silently double a slice of the work-list — both would
+    skew every aggregate the report prints, so both are errors.
+    """
     axis = []
+    seen = set()
     for token in spec.split(","):
         name = token.strip()
-        if name not in ("", "sync", *SCHEDULER_KINDS):
+        if not name:
+            raise SystemExit(
+                f"empty scheduler token in {spec!r}; "
+                "use a comma-separated list like 'sync,seeded-async'"
+            )
+        if name not in ("sync", *SCHEDULER_KINDS):
             choices = ["sync", *SCHEDULER_KINDS]
             raise SystemExit(f"unknown scheduler {name!r}; choose from {choices}")
+        if name in seen:
+            raise SystemExit(
+                f"duplicate scheduler {name!r} in {spec!r}; "
+                "each axis entry may appear once"
+            )
+        seen.add(name)
         try:
             axis.append(parse_scheduler(name, seed=seed, max_delay=max_delay))
         except ValueError as exc:  # e.g. --max-delay 0
@@ -89,11 +115,30 @@ def parse_scheduler_axis(spec: str, seed: int, max_delay: int):
     return axis
 
 
+def apply_synchronizer(factory, mode: str, axis):
+    """Wrap ``factory`` for ``--synchronizer``; ``none`` is the identity.
+
+    The window is the worst declared delay bound across the axis — a
+    window larger than one entry's bound only stretches rounds further,
+    never breaks them.
+    """
+    if mode == "none":
+        return factory
+    window = max(
+        (spec.worst_case_delay for spec in axis if spec is not None),
+        default=1,
+    )
+    return consensus.synchronize_factory(factory, mode=mode, window=window)
+
+
 def find_adversary(name: str):
-    for adversary in standard_adversaries():
+    # The standard battery plus the hybrid-only equivocator, so every
+    # adversary a sweep record can name is replayable through `run`.
+    candidates = standard_adversaries() + [EquivocatingAdversary()]
+    for adversary in candidates:
         if adversary.name == name:
             return adversary
-    names = [a.name for a in standard_adversaries()]
+    names = [a.name for a in candidates]
     raise SystemExit(f"unknown adversary {name!r}; choose from {names}")
 
 
@@ -130,10 +175,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         faulty = [nodes[int(i)] for i in args.faulty.split(",")]
         adversary = find_adversary(args.adversary)
     if args.algorithm == "3" and args.t:
-        channel = hybrid_model(set(faulty[: args.t]))
+        # Same canonical (repr-sorted) prefix rule as sweep's
+        # HybridEquivocatorPolicy, so a sweep record's scenario replays
+        # identically here regardless of --faulty argument order.
+        from .analysis import HybridEquivocatorPolicy
+
+        channel = HybridEquivocatorPolicy(args.t)(tuple(faulty))
     axis = parse_scheduler_axis(args.scheduler, args.seed, args.max_delay)
     if len(axis) != 1:
         raise SystemExit("run takes exactly one --scheduler")
+    factory = apply_synchronizer(factory, args.synchronizer, axis)
     result = consensus.run_consensus(
         graph, factory, inputs, f=args.f, faulty=faulty,
         adversary=adversary, channel=channel, scheduler=axis[0],
@@ -141,9 +192,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"inputs        : {inputs}")
     print(f"faulty        : {faulty} ({args.adversary if faulty else 'none'})")
     print(f"scheduler     : {args.scheduler}")
+    print(f"synchronizer  : {args.synchronizer}")
     print(f"honest outputs: {result.honest_outputs}")
     print(f"agreement     : {result.agreement}")
     print(f"validity      : {result.validity}")
+    print(f"outcome       : {result.outcome}")
     print(f"rounds        : {result.rounds}")
     print(f"transmissions : {result.transmissions}")
     print(f"max latency   : {result.trace.max_latency}")
@@ -151,15 +204,29 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    from .analysis import consensus_sweep
+    from .analysis import HybridEquivocatorPolicy, consensus_sweep
 
     graph = parse_graph(args.graph)
+    channel_policy = None
+    adversaries = None
     if args.algorithm == "1":
         factory = consensus.algorithm1_factory(graph, args.f)
     elif args.algorithm == "2":
         factory = consensus.algorithm2_factory(graph, args.f)
     elif args.algorithm == "3":
         factory = consensus.algorithm3_factory(graph, args.f, args.t or 0)
+        if args.t:
+            # Mirror cmd_run: Algorithm 3's whole point is the hybrid
+            # channel, whose equivocator set is (a prefix of) each
+            # task's fault placement — derive it per task.
+            channel_policy = HybridEquivocatorPolicy(args.t)
+            if args.t >= args.f:
+                # Every fault placement is fully equivocating, so the
+                # equivocation behavior is physically possible on each
+                # faulty node — add it to the battery the sweep runs.
+                adversaries = standard_adversaries(args.seed) + [
+                    EquivocatingAdversary()
+                ]
     else:
         raise SystemExit(f"unknown algorithm {args.algorithm!r}")
     patterns = args.patterns.split(",") if args.patterns else None
@@ -173,19 +240,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 f"unknown input patterns {unknown}; choose from {known}"
             )
     schedulers = parse_scheduler_axis(args.scheduler, args.seed, args.max_delay)
+    factory = apply_synchronizer(factory, args.synchronizer, schedulers)
     report = consensus_sweep(
         graph,
         factory,
         f=args.f,
+        adversaries=adversaries,
         fault_limit=args.fault_limit,
         patterns=patterns,
         seed=args.seed,
         workers=args.workers,
         schedulers=schedulers,
+        channel_policy=channel_policy,
     )
     text = report.to_json(
         graph=args.graph, f=args.f, workers=args.workers,
-        scheduler=args.scheduler,
+        scheduler=args.scheduler, synchronizer=args.synchronizer,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -251,6 +321,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="sync",
                    help="timing model: sync, lockstep, seeded-async, "
                         "adversarial")
+    p.add_argument("--synchronizer", default="none",
+                   choices=["none", "alpha", "ack"],
+                   help="wrap the protocol in an α-synchronizer so it "
+                        "keeps its round structure under async timing")
     p.add_argument("--max-delay", type=int, default=3,
                    help="worst-case per-link delay for async schedulers")
     p.add_argument("--seed", type=int, default=0,
@@ -276,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="sync",
                    help="comma-separated timing axis: sync, lockstep, "
                         "seeded-async, adversarial")
+    p.add_argument("--synchronizer", default="none",
+                   choices=["none", "alpha", "ack"],
+                   help="wrap the swept protocol in an α-synchronizer "
+                        "(window = the axis's worst declared delay)")
     p.add_argument("--max-delay", type=int, default=3,
                    help="worst-case per-link delay for async schedulers")
     p.add_argument("--seed", type=int, default=0)

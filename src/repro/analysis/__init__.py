@@ -16,6 +16,7 @@ from .requirements import (
     smallest_feasible_complete_graph,
 )
 from .sweep import (
+    HybridEquivocatorPolicy,
     SweepRecord,
     SweepReport,
     SweepTask,
@@ -27,6 +28,7 @@ from .sweep import (
 
 __all__ = [
     "CostModel",
+    "HybridEquivocatorPolicy",
     "HybridRow",
     "RequirementRow",
     "SweepRecord",

@@ -41,11 +41,11 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field
 from itertools import combinations
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
-from ..consensus.runner import run_consensus
+from ..consensus.runner import OUTCOME_DECIDED, run_consensus
 from ..net.adversary import Adversary, HonestFactory, standard_adversaries
-from ..net.channels import ChannelModel
+from ..net.channels import ChannelModel, hybrid_model
 from ..net.sched import SchedulerSpec
 from ..graphs import Graph
 
@@ -62,7 +62,13 @@ def _scheduler_name(spec: SchedulerAxisEntry) -> str:
 
 @dataclass(frozen=True)
 class SweepRecord:
-    """One (fault set, scheduler, adversary, input pattern) run."""
+    """One (fault set, scheduler, adversary, input pattern) run.
+
+    ``outcome`` carries the runner's three-way verdict (``"decided"`` /
+    ``"disagreed"`` / ``"budget_exhausted"``), so asynchronous sweeps
+    can tell a genuine safety failure from a run that merely ran out of
+    virtual time.
+    """
 
     faulty: Tuple[Hashable, ...]
     adversary: str
@@ -74,6 +80,7 @@ class SweepRecord:
     transmissions: int
     decision: Optional[int]
     scheduler: str = _SYNC_NAME
+    outcome: str = OUTCOME_DECIDED
 
 
 @dataclass
@@ -102,12 +109,21 @@ class SweepReport:
     def max_rounds(self) -> int:
         return max((r.rounds for r in self.records), default=0)
 
+    @property
+    def outcomes(self) -> Dict[str, int]:
+        """Record count per outcome, in canonical (sorted) key order."""
+        counts: Dict[str, int] = {}
+        for r in self.records:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
     def to_dict(self) -> dict:
         """A JSON-ready summary plus every record (canonical order)."""
         return {
             "runs": self.runs,
             "all_consensus": self.all_consensus,
             "failures": len(self.failures),
+            "outcomes": self.outcomes,
             "max_rounds": self.max_rounds,
             "max_transmissions": self.max_transmissions,
             "records": [asdict(r) for r in self.records],
@@ -181,6 +197,34 @@ class SweepTask:
 
 
 @dataclass(frozen=True)
+class HybridEquivocatorPolicy:
+    """Per-task hybrid channel: the first ``t`` faulty nodes equivocate.
+
+    The hybrid model (Section 6) grants point-to-point power to at most
+    ``t`` *faulty* nodes — so the channel depends on each task's fault
+    placement and cannot be one fixed :class:`ChannelModel` for a whole
+    sweep.  This policy rebuilds it per task from the canonically sorted
+    fault tuple, mirroring what ``python -m repro run --t`` does for a
+    single run.  Frozen and picklable, so parallel sweeps ship it to
+    workers unchanged.
+    """
+
+    t: int
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ValueError("t must be >= 0")
+
+    def __call__(self, faulty: Tuple[Hashable, ...]) -> ChannelModel:
+        chosen = sorted(faulty, key=repr)[: self.t]
+        return hybrid_model(frozenset(chosen))
+
+
+#: Maps one task's fault tuple to the channel model of that run.
+ChannelPolicy = Callable[[Tuple[Hashable, ...]], ChannelModel]
+
+
+@dataclass(frozen=True)
 class _SweepContext:
     """Everything a worker needs to execute any task of one sweep."""
 
@@ -191,6 +235,7 @@ class _SweepContext:
     patterns: Dict[str, Dict[Hashable, int]]
     channel: Optional[ChannelModel]
     schedulers: Tuple[SchedulerAxisEntry, ...] = (None,)
+    channel_policy: Optional[ChannelPolicy] = None
 
 
 def sweep_tasks(
@@ -229,6 +274,9 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
     """Run one task to a :class:`SweepRecord` (pure given its inputs)."""
     adversary = context.adversaries[task.adversary_index]
     scheduler = context.schedulers[task.scheduler_index]
+    channel = context.channel
+    if context.channel_policy is not None:
+        channel = context.channel_policy(task.faulty)
     result = run_consensus(
         context.graph,
         context.honest_factory,
@@ -236,7 +284,7 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         f=context.f,
         faulty=task.faulty,
         adversary=adversary,
-        channel=context.channel,
+        channel=channel,
         scheduler=scheduler,
     )
     return SweepRecord(
@@ -250,6 +298,7 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         transmissions=result.transmissions,
         decision=result.decision,
         scheduler=_scheduler_name(scheduler),
+        outcome=result.outcome,
     )
 
 
@@ -292,6 +341,7 @@ def consensus_sweep(
     seed: int = 0,
     workers: int = 1,
     schedulers: Optional[Sequence[SchedulerAxisEntry]] = None,
+    channel_policy: Optional[ChannelPolicy] = None,
 ) -> SweepReport:
     """Run the full battery and report whether consensus *always* held.
 
@@ -305,9 +355,16 @@ def consensus_sweep(
     synchronous fast path) or a :class:`~repro.net.sched.SchedulerSpec`;
     every ``(faulty, adversary, pattern)`` scenario runs once per entry.
     Defaults to ``(None,)`` — existing sweeps are unchanged.
+
+    ``channel_policy`` (exclusive with ``channel``) derives each task's
+    channel model from its fault tuple — required by the hybrid model,
+    where the equivocator set *is* a subset of the faulty set (see
+    :class:`HybridEquivocatorPolicy`).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if channel is not None and channel_policy is not None:
+        raise ValueError("pass either channel or channel_policy, not both")
     adversaries = (
         list(adversaries) if adversaries is not None else standard_adversaries(seed)
     )
@@ -337,6 +394,7 @@ def consensus_sweep(
         patterns=chosen,
         channel=channel,
         schedulers=scheduler_axis,
+        channel_policy=channel_policy,
     )
 
     payload: Optional[bytes] = None

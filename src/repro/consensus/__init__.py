@@ -56,7 +56,20 @@ from .iterative import (
 from .path_engine import NodeBehavior, PathFloodEngine
 from .path_oracle import PathOracle
 from .reliable import ClaimIndex, ReportBundle, detect_faults, reliable_value
-from .runner import ConsensusResult, run_consensus
+from .runner import (
+    OUTCOME_BUDGET_EXHAUSTED,
+    OUTCOME_DECIDED,
+    OUTCOME_DISAGREED,
+    ConsensusResult,
+    run_consensus,
+)
+from .synchronizer import (
+    SYNCHRONIZER_MODES,
+    AlphaSynchronizer,
+    RoundMarker,
+    SynchronizedFactory,
+    synchronize_factory,
+)
 
 __all__ = [
     "Algorithm1Factory",
@@ -65,6 +78,7 @@ __all__ = [
     "Algorithm2Protocol",
     "Algorithm3Factory",
     "Algorithm3Protocol",
+    "AlphaSynchronizer",
     "ClaimIndex",
     "Clause",
     "ConditionReport",
@@ -75,9 +89,15 @@ __all__ = [
     "ExactConsensusProtocol",
     "FloodInstance",
     "NodeBehavior",
+    "OUTCOME_BUDGET_EXHAUSTED",
+    "OUTCOME_DECIDED",
+    "OUTCOME_DISAGREED",
     "PathFloodEngine",
     "PathOracle",
     "ReportBundle",
+    "RoundMarker",
+    "SYNCHRONIZER_MODES",
+    "SynchronizedFactory",
     "WMSRResult",
     "algorithm1_factory",
     "algorithm2_factory",
@@ -93,15 +113,16 @@ __all__ = [
     "flood_rounds",
     "hybrid_threshold_connectivity",
     "is_r_robust",
-    "max_robustness",
     "local_broadcast_threshold_connectivity",
     "majority",
     "max_f_hybrid",
     "max_f_local_broadcast",
     "max_f_point_to_point",
+    "max_robustness",
     "phase_count",
     "reliable_value",
-    "run_wmsr",
-    "wmsr_requirement",
     "run_consensus",
+    "run_wmsr",
+    "synchronize_factory",
+    "wmsr_requirement",
 ]

@@ -21,6 +21,12 @@ from ..net.simulator import SimulationError, SynchronousNetwork
 from ..net.trace import Trace
 
 
+#: The three ways a run can end (``ConsensusResult.outcome``).
+OUTCOME_DECIDED = "decided"
+OUTCOME_DISAGREED = "disagreed"
+OUTCOME_BUDGET_EXHAUSTED = "budget_exhausted"
+
+
 @dataclass(frozen=True)
 class ConsensusResult:
     """Outcome of one run, evaluated over the honest nodes only."""
@@ -67,6 +73,26 @@ class ConsensusResult:
         if not self.agreement:
             return None
         return next(iter({self.outputs[v] for v in self.honest}))
+
+    @property
+    def outcome(self) -> str:
+        """How the run ended, as a three-way verdict.
+
+        ``"decided"`` — every honest node decided and the decisions
+        satisfy agreement and validity; ``"disagreed"`` — every honest
+        node decided but the decisions violate agreement or validity (a
+        genuine safety failure); ``"budget_exhausted"`` — some honest
+        node was still undecided when the virtual-time budget ran out.
+        The distinction matters for asynchronous runs: with a correctly
+        scaled budget (``total_rounds × worst_case_delay``), only
+        ``"disagreed"`` convicts the protocol of losing consensus, while
+        ``"budget_exhausted"`` convicts it of not terminating.
+        """
+        if not self.terminated:
+            return OUTCOME_BUDGET_EXHAUSTED
+        if not (self.agreement and self.validity):
+            return OUTCOME_DISAGREED
+        return OUTCOME_DECIDED
 
 
 def run_consensus(
@@ -128,10 +154,29 @@ def run_consensus(
             protocols[node] = honest_factory(node, inputs[node])
 
     if max_rounds is None:
-        budgets = [
-            getattr(protocols[v], "total_rounds", None) for v in honest
-        ]
-        known = [b for b in budgets if isinstance(b, int)]
+        known = []
+        for v in sorted(honest, key=repr):
+            budget = getattr(protocols[v], "total_rounds", None)
+            if not isinstance(budget, int):
+                continue
+            if scheduler is not None and not getattr(
+                protocols[v], "budget_in_ticks", False
+            ):
+                # The protocol's own budget counts synchronous *rounds*;
+                # the event core counts virtual *ticks*.  Under delays up
+                # to d, round r's messages need not land before tick r·d,
+                # so capping ticks at the round budget would abort
+                # slow-but-correct runs and report clock exhaustion as a
+                # consensus failure.  Scale by the declared delay bound.
+                # (Protocols that declare ``budget_in_ticks`` — the
+                # α-synchronizer wrapper — already account for delays.)
+                if not scheduler.bounded:
+                    raise ValueError(
+                        "max_rounds required: scheduler "
+                        f"{scheduler.name!r} declares no delay bound"
+                    )
+                budget = scheduler.horizon(budget)
+            known.append(budget)
         if not known:
             raise ValueError("max_rounds required: protocols expose no budget")
         max_rounds = max(known)

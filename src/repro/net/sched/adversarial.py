@@ -49,11 +49,16 @@ class AdversarialScheduler(Scheduler):
 
     name = "adversarial"
     atomic_broadcast = True
+    bounded = True
 
     def __init__(self, max_delay: int = 3):
         if max_delay < 1:
             raise ValueError("max_delay must be >= 1")
         self.max_delay = max_delay
+
+    @property
+    def worst_case_delay(self) -> int:
+        return self.max_delay
 
     def bind(self, graph: Graph, channel: ChannelModel) -> None:
         super().bind(graph, channel)

@@ -68,6 +68,14 @@ class Scheduler(ABC):
     #: When True, every recipient of one broadcast shares one delivery
     #: instant (the max of the per-link candidates, so FIFO still holds).
     atomic_broadcast = False
+    #: The declared delay-bound contract.  A *bounded* scheduler promises
+    #: every delay it ever produces is ≤ :attr:`worst_case_delay`; layers
+    #: that reason about time budgets (the runner's delay-aware horizon,
+    #: the α-synchronizer's round windows) query exactly this pair.
+    #: Subclasses that cannot promise a bound leave ``bounded = False``
+    #: and ``worst_case_delay = None``.
+    bounded = False
+    worst_case_delay: Optional[int] = None
 
     def bind(self, graph: Graph, channel: ChannelModel) -> None:
         """Attach to one run: reset link clocks and any per-run state."""
@@ -87,6 +95,12 @@ class Scheduler(ABC):
             if d < 1:
                 raise SchedulingError(
                     f"{self.name}: delay {d} < 1 for "
+                    f"{send.sender!r} -> {recipient!r}"
+                )
+            if self.bounded and d > (self.worst_case_delay or 0):
+                raise SchedulingError(
+                    f"{self.name}: delay {d} exceeds the declared "
+                    f"worst-case bound {self.worst_case_delay} for "
                     f"{send.sender!r} -> {recipient!r}"
                 )
             when = send.time + d

@@ -23,6 +23,8 @@ class LockstepScheduler(Scheduler):
 
     name = "lockstep"
     atomic_broadcast = True
+    bounded = True
+    worst_case_delay = 1
 
     def delay(self, send: SendEvent, recipient: Hashable) -> int:
         return 1

@@ -32,12 +32,17 @@ class SeededAsyncScheduler(Scheduler):
     """Uniform random per-link delays in ``{1, …, max_delay}``."""
 
     name = "seeded-async"
+    bounded = True
 
     def __init__(self, seed: int = 0, max_delay: int = 3):
         if max_delay < 1:
             raise ValueError("max_delay must be >= 1")
         self.seed = seed
         self.max_delay = max_delay
+
+    @property
+    def worst_case_delay(self) -> int:
+        return self.max_delay
 
     def bind(self, graph: Graph, channel: ChannelModel) -> None:
         super().bind(graph, channel)

@@ -49,6 +49,33 @@ class SchedulerSpec:
         """The label sweep records and reports carry."""
         return self.kind
 
+    @property
+    def bounded(self) -> bool:
+        """Whether this spec's scheduler declares a worst-case delay.
+
+        Every kind currently shipped is bounded; an unbounded kind would
+        return ``False`` here and force callers to supply explicit time
+        budgets (the runner refuses to guess a horizon for it).
+        """
+        return True
+
+    @property
+    def worst_case_delay(self) -> int:
+        """The declared per-delivery delay bound (ticks)."""
+        return 1 if self.kind == "lockstep" else self.max_delay
+
+    def horizon(self, rounds: int) -> int:
+        """Virtual-tick budget for ``rounds`` synchronous rounds.
+
+        Under a bounded scheduler, everything a fixed-round protocol does
+        in ``rounds`` lockstep rounds has happened by ``rounds ×
+        worst_case_delay`` ticks — so exhausting this budget means the
+        run genuinely failed to decide, not that the clock ran out.
+        """
+        if rounds < 0:
+            raise ValueError("rounds must be >= 0")
+        return rounds * self.worst_case_delay
+
     def build(self, graph: Graph) -> Scheduler:
         """A fresh, unbound scheduler for one run on ``graph``."""
         if self.kind == "lockstep":

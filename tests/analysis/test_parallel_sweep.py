@@ -102,8 +102,10 @@ class TestReportSerialization:
         assert set(record) == {
             "faulty", "adversary", "inputs_name", "consensus", "agreement",
             "validity", "rounds", "transmissions", "decision", "scheduler",
+            "outcome",
         }
         assert record["scheduler"] == "sync"
+        assert record["outcome"] == "decided"
 
     def test_json_round_trip(self, c4):
         import json

@@ -4,7 +4,12 @@ import pytest
 
 from repro.consensus import algorithm1_factory, run_consensus
 from repro.graphs import cycle_graph
-from repro.net import SilentAdversary, TamperForwardAdversary
+from repro.net import (
+    Protocol,
+    SchedulerSpec,
+    SilentAdversary,
+    TamperForwardAdversary,
+)
 
 
 class TestValidation:
@@ -96,3 +101,130 @@ class TestVerdicts:
             max_rounds=30,
         )
         assert res.consensus
+
+
+class _PingDecide(Protocol):
+    """Decides on hearing any neighbor's round-1 ping.
+
+    Synchronously this takes exactly ``total_rounds = 2`` rounds; under
+    per-link delays up to ``d`` the ping may land as late as tick
+    ``1 + d`` — past the synchronous budget, but well within the
+    protocol's actual (delay-adjusted) schedule.
+    """
+
+    total_rounds = 2
+
+    def __init__(self):
+        self._out = None
+
+    def on_round(self, ctx):
+        if ctx.round_no == 1:
+            ctx.broadcast("ping")
+        if self._out is None and any(m == "ping" for _, m in ctx.inbox):
+            self._out = 1
+
+    def output(self):
+        return self._out
+
+
+class TestOutcome:
+    def test_decided(self, c5):
+        res = run_consensus(
+            c5, algorithm1_factory(c5, 1), {v: 0 for v in c5.nodes}, f=1
+        )
+        assert res.outcome == "decided"
+
+    def test_budget_exhausted_when_undecided(self):
+        class Never(Protocol):
+            total_rounds = 3
+
+            def on_round(self, ctx):
+                return
+
+            def output(self):
+                return None
+
+        g = cycle_graph(3)
+        res = run_consensus(g, lambda v, x: Never(), {v: 0 for v in g.nodes}, f=0)
+        assert res.outcome == "budget_exhausted"
+
+    def test_disagreed_when_outputs_split(self):
+        class Stubborn(Protocol):
+            """Every node decides its own input — terminates, disagrees."""
+
+            total_rounds = 1
+
+            def __init__(self, value):
+                self.value = value
+
+            def on_round(self, ctx):
+                return
+
+            def output(self):
+                return self.value
+
+        g = cycle_graph(4)
+        res = run_consensus(
+            g, lambda v, x: Stubborn(x), {v: v % 2 for v in g.nodes}, f=0
+        )
+        assert res.terminated and not res.agreement
+        assert res.outcome == "disagreed"
+
+
+class TestDelayAwareBudget:
+    """Regression: the virtual-tick budget must scale with the
+    scheduler's declared delay bound, so an asynchronous run that merely
+    needs more *time* (not more rounds) is not misreported as failed."""
+
+    SPEC = SchedulerSpec("seeded-async", seed=3, max_delay=3)
+
+    def test_async_run_decides_past_the_synchronous_budget(self):
+        g = cycle_graph(4)
+        res = run_consensus(
+            g,
+            lambda v, x: _PingDecide(),
+            {v: 1 for v in g.nodes},
+            f=0,
+            scheduler=self.SPEC,
+        )
+        assert res.outcome == "decided"
+        # The decisive delivery landed *after* the synchronous budget of
+        # total_rounds = 2 ticks — the run the old accounting aborted.
+        assert res.rounds > _PingDecide.total_rounds
+
+    def test_capping_at_the_synchronous_budget_reproduces_the_bug(self):
+        g = cycle_graph(4)
+        res = run_consensus(
+            g,
+            lambda v, x: _PingDecide(),
+            {v: 1 for v in g.nodes},
+            f=0,
+            scheduler=self.SPEC,
+            max_rounds=_PingDecide.total_rounds,  # the old conflation
+        )
+        assert res.outcome == "budget_exhausted"
+
+    def test_explicit_max_rounds_is_not_scaled(self, c5):
+        res = run_consensus(
+            c5,
+            algorithm1_factory(c5, 1),
+            {v: 0 for v in c5.nodes},
+            f=1,
+            max_rounds=1,
+            scheduler=self.SPEC,
+        )
+        assert res.rounds == 1  # caller's budget is taken literally
+
+    def test_unbounded_scheduler_requires_explicit_budget(self, c5):
+        class UnboundedSpec:
+            name = "unbounded-stub"
+            bounded = False
+
+        with pytest.raises(ValueError, match="no delay bound"):
+            run_consensus(
+                c5,
+                algorithm1_factory(c5, 1),
+                {v: 0 for v in c5.nodes},
+                f=1,
+                scheduler=UnboundedSpec(),
+            )

@@ -44,6 +44,16 @@ class TestCommands:
         assert code == 0
         assert "validity      : True" in capsys.readouterr().out
 
+    def test_run_equivocate_adversary_replayable(self, capsys):
+        """Hybrid sweep records name 'equivocate'; cmd_run must accept
+        it so those scenarios replay."""
+        code = main([
+            "run", "--graph", "complete:4", "--f", "1", "--t", "1",
+            "--algorithm", "3", "--faulty", "0", "--adversary", "equivocate",
+        ])
+        assert code == 0
+        assert "outcome       : decided" in capsys.readouterr().out
+
     def test_run_unknown_adversary(self):
         with pytest.raises(SystemExit):
             main(["run", "--graph", "cycle:5", "--f", "1",
@@ -106,6 +116,110 @@ class TestSweepCommand:
         payload = json.loads(out.read_text())
         assert payload["runs"] == len(payload["records"])
         assert "report.json" in capsys.readouterr().out
+
+
+class TestSchedulerAxisParsing:
+    """Malformed --scheduler lists fail loudly instead of silently
+    duplicating (or emptying) slices of the work-list."""
+
+    def sweep_args(self, scheduler):
+        return ["sweep", "--graph", "cycle:4", "--f", "1",
+                "--patterns", "all-one", "--fault-limit", "1",
+                "--scheduler", scheduler]
+
+    @pytest.mark.parametrize("spec", ["sync,", ",,sync", ",", ""])
+    def test_empty_tokens_rejected(self, spec):
+        with pytest.raises(SystemExit, match="empty scheduler token"):
+            main(self.sweep_args(spec))
+
+    @pytest.mark.parametrize("spec", ["sync,sync", "seeded-async,seeded-async",
+                                      "sync,seeded-async,sync"])
+    def test_duplicates_rejected(self, spec):
+        with pytest.raises(SystemExit, match="duplicate scheduler"):
+            main(self.sweep_args(spec))
+
+    def test_valid_axis_still_parses(self, capsys):
+        assert main(self.sweep_args("sync,seeded-async") + ["--exit-zero"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert {r["scheduler"] for r in payload["records"]} == {
+            "sync", "seeded-async"
+        }
+
+
+class TestAlgorithm3HybridSweep:
+    """Regression: `sweep --algorithm 3 --t` must run under the hybrid
+    channel (cmd_run always did; cmd_sweep used to ignore --t and sweep
+    pure local broadcast, where equivocation is physically impossible)."""
+
+    def test_sweep_honors_t(self, capsys):
+        code = main([
+            "sweep", "--graph", "complete:4", "--f", "1", "--t", "1",
+            "--algorithm", "3", "--patterns", "split",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        adversaries = {r["adversary"] for r in payload["records"]}
+        # The equivocating behavior is only *runnable* once the per-task
+        # hybrid channel grants the faulty node unicast — its presence
+        # (and the sweep surviving it) is the fix, end to end.
+        assert "equivocate" in adversaries
+        assert payload["all_consensus"] is True
+
+    def test_equivocator_prefix_is_canonical(self):
+        """Both cmd_run and the sweep derive equivocators from the same
+        canonical (repr-sorted) prefix of the fault set, so listing
+        --faulty in a different order cannot change who may unicast and
+        sweep records replay identically under cmd_run."""
+        from repro.analysis import HybridEquivocatorPolicy
+
+        policy = HybridEquivocatorPolicy(1)
+        assert policy((2, 0)) == policy((0, 2))
+        assert policy((2, 0)).equivocators == frozenset({0})
+        assert policy((2, 0)).may_unicast(0)
+        assert not policy((2, 0)).may_unicast(2)
+
+    def test_without_t_battery_is_standard(self, capsys):
+        code = main([
+            "sweep", "--graph", "complete:4", "--f", "1",
+            "--algorithm", "3", "--patterns", "split",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert "equivocate" not in {r["adversary"] for r in payload["records"]}
+
+
+class TestSynchronizerFlag:
+    def test_sweep_synchronizer_recovers_async_consensus(self, capsys):
+        code = main([
+            "sweep", "--graph", "cycle:4", "--f", "1", "--algorithm", "2",
+            "--scheduler", "seeded-async", "--seed", "7",
+            "--synchronizer", "alpha", "--patterns", "all-zero",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["synchronizer"] == "alpha"
+        assert payload["all_consensus"] is True
+        assert payload["outcomes"] == {"decided": payload["runs"]}
+
+    def test_run_synchronizer_flag(self, capsys):
+        code = main([
+            "run", "--graph", "cycle:4", "--f", "1", "--algorithm", "2",
+            "--faulty", "0", "--adversary", "tamper-forward",
+            "--scheduler", "seeded-async", "--seed", "7",
+            "--synchronizer", "alpha",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "synchronizer  : alpha" in out
+        assert "outcome       : decided" in out
 
 
 class TestRandomGraphSpecs:
