@@ -13,9 +13,12 @@ send exactly their synchronous traffic, just on a slower clock).
 
 Also recorded: ack mode (the marker-handshake classic) terminates
 fault-free without knowing any delay bound, at a marker-traffic
-overhead; with a marker-withholding (silent) Byzantine node it stalls
-to ``budget_exhausted`` — the classical synchronizer's documented
-fault-intolerance, which is why alpha mode is the default.
+overhead.  Its *classical* form (``f = 0``: wait on every neighbor)
+stalls to ``budget_exhausted`` against a marker-withholding (silent)
+Byzantine node — the documented liveness bug; the fixed form advances
+on markers from ``deg − f`` neighbors behind the α-window timeout gate
+and decides that same scenario (see also
+``bench_async_native.py`` for the delay-bound-free native algorithm).
 """
 
 from __future__ import annotations
@@ -155,15 +158,30 @@ def ack_rows():
                  fault_free.transmissions))
     stalled = run_consensus(
         graph,
-        synchronize_factory(algorithm2_factory(graph, 1), spec, mode="ack"),
+        synchronize_factory(
+            algorithm2_factory(graph, 1), spec, mode="ack", f=0
+        ),
         inputs,
         f=1,
         faulty=[1],
         adversary=SilentAdversary(),
         scheduler=spec,
     )
-    rows.append(("ack, silent fault", stalled.outcome, stalled.rounds,
-                 stalled.transmissions))
+    rows.append(("ack (classical), silent fault", stalled.outcome,
+                 stalled.rounds, stalled.transmissions))
+    fixed = run_consensus(
+        graph,
+        synchronize_factory(
+            algorithm2_factory(graph, 1), spec, mode="ack", f=1
+        ),
+        inputs,
+        f=1,
+        faulty=[1],
+        adversary=SilentAdversary(),
+        scheduler=spec,
+    )
+    rows.append(("ack (deg-f quorum), silent fault", fixed.outcome,
+                 fixed.rounds, fixed.transmissions))
     alpha = run_consensus(
         graph,
         synchronize_factory(algorithm2_factory(graph, 1), spec),
@@ -187,9 +205,11 @@ def test_ack_mode_profile(benchmark):
     )
     by_mode = {row[0]: row for row in rows}
     assert by_mode["ack, fault-free"][1] == "decided"
-    # The handshake stalls on a marker-withholding Byzantine neighbor —
-    # and the outcome accounting calls that what it is: a termination
-    # failure, never a disagreement.
-    assert by_mode["ack, silent fault"][1] == "budget_exhausted"
+    # The classical handshake stalls on a marker-withholding Byzantine
+    # neighbor — and the outcome accounting calls that what it is: a
+    # termination failure, never a disagreement.
+    assert by_mode["ack (classical), silent fault"][1] == "budget_exhausted"
+    # The deg−f marker quorum (behind the α-window gate) repairs it.
+    assert by_mode["ack (deg-f quorum), silent fault"][1] == "decided"
     # Alpha's fixed windows cannot be stalled: same fault, consensus.
     assert by_mode["alpha, silent fault"][1] == "decided"

@@ -28,6 +28,15 @@ asynchronous schedulers::
 
     python -m repro sweep --graph cycle:4 --f 1 --algorithm 2 \\
                           --scheduler seeded-async --synchronizer alpha
+
+``--algorithm async`` runs the native asynchronous algorithm
+(:mod:`repro.consensus.async_alg`, arXiv:1909.02865): message-driven,
+no round schedule, and no delay bound read anywhere — pair it with
+``--declare-unbounded`` to prove the point end to end::
+
+    python -m repro sweep --graph wheel:5 --f 1 --algorithm async \\
+                          --scheduler seeded-async,adversarial \\
+                          --declare-unbounded
 """
 
 from __future__ import annotations
@@ -82,13 +91,20 @@ def parse_graph(spec: str) -> graphs.Graph:
     raise SystemExit(f"unknown graph spec {spec!r}")
 
 
-def parse_scheduler_axis(spec: str, seed: int, max_delay: int):
+def parse_scheduler_axis(
+    spec: str, seed: int, max_delay: int, unbounded: bool = False, window: int = 0
+):
     """Parse a comma-separated ``--scheduler`` list into a sweep axis.
 
     Malformed lists fail loudly: an empty token (``sync,`` / ``,,sync``)
     would silently duplicate the synchronous fast path, and a repeated
     kind would silently double a slice of the work-list — both would
     skew every aggregate the report prints, so both are errors.
+
+    ``unbounded`` (``--declare-unbounded``) strips the delay-bound
+    declaration from every asynchronous entry; ``window``
+    (``--target-window``) arms the adversarial scheduler's synchronizer-
+    boundary targeting.  Both decorate whichever entries they apply to.
     """
     axis = []
     seen = set()
@@ -109,26 +125,62 @@ def parse_scheduler_axis(spec: str, seed: int, max_delay: int):
             )
         seen.add(name)
         try:
-            axis.append(parse_scheduler(name, seed=seed, max_delay=max_delay))
+            axis.append(
+                parse_scheduler(
+                    name, seed=seed, max_delay=max_delay,
+                    unbounded=unbounded, window=window,
+                )
+            )
         except ValueError as exc:  # e.g. --max-delay 0
             raise SystemExit(str(exc))
     return axis
 
 
-def apply_synchronizer(factory, mode: str, axis):
+def require_bounded_axis(algorithm: str, axis) -> None:
+    """Fail fast on ``--declare-unbounded`` with a fixed-round algorithm.
+
+    The runner cannot budget a round-scheduled protocol with no declared
+    delay bound (it would raise mid-run); only the native asynchronous
+    algorithm runs in that regime.
+    """
+    if algorithm != "async" and any(
+        spec is not None and not spec.bounded for spec in axis
+    ):
+        raise SystemExit(
+            "--declare-unbounded strips the delay bound the fixed-round "
+            "algorithms' budgets need; use --algorithm async (or drop "
+            "the flag)"
+        )
+
+
+def apply_synchronizer(factory, mode: str, axis, f: int = 0):
     """Wrap ``factory`` for ``--synchronizer``; ``none`` is the identity.
 
     The window is the worst declared delay bound across the axis — a
     window larger than one entry's bound only stretches rounds further,
-    never breaks them.
+    never breaks them.  ``f`` arms ack mode's fault-tolerant ``deg − f``
+    marker quorum; its α-window timeout gate requires every axis entry
+    to declare a bound (``sync`` counts: its delays are exactly 1).
     """
     if mode == "none":
         return factory
+    # An unbounded axis entry never reaches this point: require_bounded_axis
+    # rejects every fixed-round algorithm on such an axis first, and the
+    # async algorithm refuses synchronizers in build_factory.
     window = max(
         (spec.worst_case_delay for spec in axis if spec is not None),
         default=1,
     )
-    return consensus.synchronize_factory(factory, mode=mode, window=window)
+    # Every axis entry is bounded here (checked above), so ack mode's
+    # α-window gate is sound — arm it explicitly, since the factory
+    # derivation only sees a single scheduler spec, not the axis.
+    return consensus.synchronize_factory(
+        factory,
+        mode=mode,
+        window=window,
+        f=f if mode == "ack" else 0,
+        ack_timeout=True if mode == "ack" else None,
+    )
 
 
 def find_adversary(name: str):
@@ -148,24 +200,37 @@ def cmd_check(args: argparse.Namespace) -> int:
           f"min degree={graph.min_degree()}, "
           f"kappa={graphs.vertex_connectivity(graph)}")
     print(consensus.check_local_broadcast(graph, args.f))
+    print(consensus.check_async_local_broadcast(graph, args.f))
     print(consensus.check_point_to_point(graph, args.f))
     if args.t is not None:
         print(consensus.check_hybrid(graph, args.f, args.t))
     print(f"max f (local broadcast): {consensus.max_f_local_broadcast(graph)}")
+    print(f"max f (async LB):        {consensus.max_f_async_local_broadcast(graph)}")
     print(f"max f (point-to-point):  {consensus.max_f_point_to_point(graph)}")
     return 0
 
 
+def build_factory(args: argparse.Namespace, graph: graphs.Graph):
+    """The ``--algorithm`` dispatch shared by ``run`` and ``sweep``."""
+    if args.algorithm == "1":
+        return consensus.algorithm1_factory(graph, args.f)
+    if args.algorithm == "2":
+        return consensus.algorithm2_factory(graph, args.f)
+    if args.algorithm == "3":
+        return consensus.algorithm3_factory(graph, args.f, args.t or 0)
+    if args.algorithm == "async":
+        if args.synchronizer != "none":
+            raise SystemExit(
+                "the async algorithm is natively asynchronous; "
+                "use --synchronizer none"
+            )
+        return consensus.async_factory(graph, args.f)
+    raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     graph = parse_graph(args.graph)
-    if args.algorithm == "1":
-        factory = consensus.algorithm1_factory(graph, args.f)
-    elif args.algorithm == "2":
-        factory = consensus.algorithm2_factory(graph, args.f)
-    elif args.algorithm == "3":
-        factory = consensus.algorithm3_factory(graph, args.f, args.t or 0)
-    else:
-        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    factory = build_factory(args, graph)
     nodes = sorted(graph.nodes, key=repr)
     inputs = {v: i % 2 for i, v in enumerate(nodes)}
     faulty = []
@@ -181,10 +246,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         from .analysis import HybridEquivocatorPolicy
 
         channel = HybridEquivocatorPolicy(args.t)(tuple(faulty))
-    axis = parse_scheduler_axis(args.scheduler, args.seed, args.max_delay)
+    axis = parse_scheduler_axis(
+        args.scheduler, args.seed, args.max_delay,
+        unbounded=args.declare_unbounded, window=args.target_window,
+    )
     if len(axis) != 1:
         raise SystemExit("run takes exactly one --scheduler")
-    factory = apply_synchronizer(factory, args.synchronizer, axis)
+    require_bounded_axis(args.algorithm, axis)
+    factory = apply_synchronizer(factory, args.synchronizer, axis, f=args.f)
     result = consensus.run_consensus(
         graph, factory, inputs, f=args.f, faulty=faulty,
         adversary=adversary, channel=channel, scheduler=axis[0],
@@ -209,26 +278,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     graph = parse_graph(args.graph)
     channel_policy = None
     adversaries = None
-    if args.algorithm == "1":
-        factory = consensus.algorithm1_factory(graph, args.f)
-    elif args.algorithm == "2":
-        factory = consensus.algorithm2_factory(graph, args.f)
-    elif args.algorithm == "3":
-        factory = consensus.algorithm3_factory(graph, args.f, args.t or 0)
-        if args.t:
-            # Mirror cmd_run: Algorithm 3's whole point is the hybrid
-            # channel, whose equivocator set is (a prefix of) each
-            # task's fault placement — derive it per task.
-            channel_policy = HybridEquivocatorPolicy(args.t)
-            if args.t >= args.f:
-                # Every fault placement is fully equivocating, so the
-                # equivocation behavior is physically possible on each
-                # faulty node — add it to the battery the sweep runs.
-                adversaries = standard_adversaries(args.seed) + [
-                    EquivocatingAdversary()
-                ]
-    else:
-        raise SystemExit(f"unknown algorithm {args.algorithm!r}")
+    factory = build_factory(args, graph)
+    if args.algorithm == "3" and args.t:
+        # Mirror cmd_run: Algorithm 3's whole point is the hybrid
+        # channel, whose equivocator set is (a prefix of) each
+        # task's fault placement — derive it per task.
+        channel_policy = HybridEquivocatorPolicy(args.t)
+        if args.t >= args.f:
+            # Every fault placement is fully equivocating, so the
+            # equivocation behavior is physically possible on each
+            # faulty node — add it to the battery the sweep runs.
+            adversaries = standard_adversaries(args.seed) + [
+                EquivocatingAdversary()
+            ]
     patterns = args.patterns.split(",") if args.patterns else None
     if patterns is not None:
         from .analysis import input_patterns
@@ -239,8 +301,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"unknown input patterns {unknown}; choose from {known}"
             )
-    schedulers = parse_scheduler_axis(args.scheduler, args.seed, args.max_delay)
-    factory = apply_synchronizer(factory, args.synchronizer, schedulers)
+    schedulers = parse_scheduler_axis(
+        args.scheduler, args.seed, args.max_delay,
+        unbounded=args.declare_unbounded, window=args.target_window,
+    )
+    require_bounded_axis(args.algorithm, schedulers)
+    factory = apply_synchronizer(factory, args.synchronizer, schedulers, f=args.f)
     report = consensus_sweep(
         graph,
         factory,
@@ -314,7 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", required=True)
     p.add_argument("--f", type=int, required=True)
     p.add_argument("--t", type=int, default=None)
-    p.add_argument("--algorithm", default="1", choices=["1", "2", "3"])
+    p.add_argument("--algorithm", default="1",
+                   choices=["1", "2", "3", "async"])
     p.add_argument("--faulty", default="",
                    help="comma-separated node indices")
     p.add_argument("--adversary", default="tamper-forward")
@@ -324,9 +391,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--synchronizer", default="none",
                    choices=["none", "alpha", "ack"],
                    help="wrap the protocol in an α-synchronizer so it "
-                        "keeps its round structure under async timing")
+                        "keeps its round structure under async timing "
+                        "(ack mode tolerates f marker-withholding "
+                        "faults); --algorithm async needs none")
     p.add_argument("--max-delay", type=int, default=3,
                    help="worst-case per-link delay for async schedulers")
+    p.add_argument("--declare-unbounded", action="store_true",
+                   help="withdraw the delay-bound declaration from the "
+                        "async schedulers (same delays on the wire; "
+                        "bound-reading layers must refuse or go native)")
+    p.add_argument("--target-window", type=int, default=0,
+                   help="adversarial scheduler: land bottleneck traffic "
+                        "exactly on the α-synchronizer activation ticks "
+                        "of this window (0 = flat max-delay stretching)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the seeded-async scheduler")
     p.set_defaults(fn=cmd_run)
@@ -339,7 +416,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", required=True)
     p.add_argument("--f", type=int, required=True)
     p.add_argument("--t", type=int, default=None)
-    p.add_argument("--algorithm", default="1", choices=["1", "2", "3"])
+    p.add_argument("--algorithm", default="1",
+                   choices=["1", "2", "3", "async"])
     p.add_argument("--workers", type=int, default=1,
                    help="process fan-out (1 = serial; report is identical)")
     p.add_argument("--fault-limit", type=int, default=None,
@@ -353,9 +431,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--synchronizer", default="none",
                    choices=["none", "alpha", "ack"],
                    help="wrap the swept protocol in an α-synchronizer "
-                        "(window = the axis's worst declared delay)")
+                        "(window = the axis's worst declared delay; "
+                        "ack mode tolerates f withheld markers)")
     p.add_argument("--max-delay", type=int, default=3,
                    help="worst-case per-link delay for async schedulers")
+    p.add_argument("--declare-unbounded", action="store_true",
+                   help="withdraw the delay-bound declaration from the "
+                        "async schedulers (same delays on the wire)")
+    p.add_argument("--target-window", type=int, default=0,
+                   help="adversarial scheduler: land bottleneck traffic "
+                        "exactly on α-window activation ticks "
+                        "(0 = flat max-delay stretching)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", default="",
                    help="write the JSON report here instead of stdout")

@@ -64,10 +64,12 @@ def _scheduler_name(spec: SchedulerAxisEntry) -> str:
 class SweepRecord:
     """One (fault set, scheduler, adversary, input pattern) run.
 
-    ``outcome`` carries the runner's three-way verdict (``"decided"`` /
-    ``"disagreed"`` / ``"budget_exhausted"``), so asynchronous sweeps
-    can tell a genuine safety failure from a run that merely ran out of
-    virtual time.
+    ``outcome`` carries the runner's verdict (``"decided"`` /
+    ``"disagreed"`` / ``"budget_exhausted"`` / ``"stalled"`` — the last
+    only from message-driven protocols whose run went quiescent), so
+    asynchronous sweeps can tell a genuine safety failure from a run
+    that merely ran out of virtual time or provably never would have
+    progressed.
     """
 
     faulty: Tuple[Hashable, ...]

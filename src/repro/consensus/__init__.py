@@ -12,6 +12,11 @@
   (Appendix D.2);
 * :mod:`~repro.consensus.baselines` — classical point-to-point EIG and
   Dolev-style relay, for the model comparison;
+* :mod:`~repro.consensus.async_alg` — the native asynchronous algorithm
+  (arXiv:1909.02865): message-driven quorum decisions, no round schedule,
+  no delay bound;
+* :mod:`~repro.consensus.synchronizer` — the α-synchronizer layer that
+  instead runs the fixed-round protocols unchanged under asynchrony;
 * :mod:`~repro.consensus.runner` — one-call experiment driver.
 """
 
@@ -26,6 +31,14 @@ from .algorithm1 import (
 )
 from .algorithm2 import Algorithm2Factory, Algorithm2Protocol, algorithm2_factory, majority
 from .algorithm3 import Algorithm3Factory, Algorithm3Protocol, algorithm3_factory
+from .async_alg import (
+    DECIDE_PHASE,
+    VALUES_PHASE,
+    AsyncConsensusProtocol,
+    AsyncFactory,
+    async_factory,
+    vote_phase,
+)
 from .baselines import (
     DolevEIGProtocol,
     EIGEquivocatingAdversary,
@@ -36,11 +49,14 @@ from .baselines import (
 from .conditions import (
     Clause,
     ConditionReport,
+    async_threshold_connectivity,
+    check_async_local_broadcast,
     check_hybrid,
     check_local_broadcast,
     check_point_to_point,
     hybrid_threshold_connectivity,
     local_broadcast_threshold_connectivity,
+    max_f_async_local_broadcast,
     max_f_hybrid,
     max_f_local_broadcast,
     max_f_point_to_point,
@@ -55,11 +71,18 @@ from .iterative import (
 )
 from .path_engine import NodeBehavior, PathFloodEngine
 from .path_oracle import PathOracle
-from .reliable import ClaimIndex, ReportBundle, detect_faults, reliable_value
+from .reliable import (
+    ClaimIndex,
+    ReportBundle,
+    detect_faults,
+    reliable_payload,
+    reliable_value,
+)
 from .runner import (
     OUTCOME_BUDGET_EXHAUSTED,
     OUTCOME_DECIDED,
     OUTCOME_DISAGREED,
+    OUTCOME_STALLED,
     ConsensusResult,
     run_consensus,
 )
@@ -79,10 +102,13 @@ __all__ = [
     "Algorithm3Factory",
     "Algorithm3Protocol",
     "AlphaSynchronizer",
+    "AsyncConsensusProtocol",
+    "AsyncFactory",
     "ClaimIndex",
     "Clause",
     "ConditionReport",
     "ConsensusResult",
+    "DECIDE_PHASE",
     "DolevEIGProtocol",
     "EIGEquivocatingAdversary",
     "EIGProtocol",
@@ -92,18 +118,23 @@ __all__ = [
     "OUTCOME_BUDGET_EXHAUSTED",
     "OUTCOME_DECIDED",
     "OUTCOME_DISAGREED",
+    "OUTCOME_STALLED",
     "PathFloodEngine",
     "PathOracle",
     "ReportBundle",
     "RoundMarker",
     "SYNCHRONIZER_MODES",
     "SynchronizedFactory",
+    "VALUES_PHASE",
     "WMSRResult",
     "algorithm1_factory",
     "algorithm2_factory",
     "algorithm3_factory",
+    "async_factory",
+    "async_threshold_connectivity",
     "candidate_fault_sets",
     "candidate_pairs",
+    "check_async_local_broadcast",
     "check_hybrid",
     "check_local_broadcast",
     "check_point_to_point",
@@ -115,14 +146,17 @@ __all__ = [
     "is_r_robust",
     "local_broadcast_threshold_connectivity",
     "majority",
+    "max_f_async_local_broadcast",
     "max_f_hybrid",
     "max_f_local_broadcast",
     "max_f_point_to_point",
     "max_robustness",
     "phase_count",
+    "reliable_payload",
     "reliable_value",
     "run_consensus",
     "run_wmsr",
     "synchronize_factory",
+    "vote_phase",
     "wmsr_requirement",
 ]

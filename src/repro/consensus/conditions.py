@@ -107,6 +107,53 @@ def check_local_broadcast(graph: Graph, f: int) -> ConditionReport:
     return ConditionReport("local-broadcast", f, None, clauses)
 
 
+def async_threshold_connectivity(f: int) -> int:
+    """The asynchronous regime's connectivity bound ``2f + 1``.
+
+    The asynchronous follow-up paper (arXiv:1909.02865) trades the
+    synchronous model's ``⌊3f/2⌋ + 1`` connectivity for the classical
+    point-to-point bound: with no round structure, reliable receipt must
+    survive ``f`` faulty *and* arbitrarily slow path families, which is
+    exactly what ``2f + 1`` internally disjoint paths buy (``f + 1`` of
+    them fault-free, hence eventually delivering).
+    """
+    return 2 * f + 1
+
+
+def check_async_local_broadcast(graph: Graph, f: int) -> ConditionReport:
+    """Feasibility of the *asynchronous* algorithm (arXiv:1909.02865 regime).
+
+    Three clauses, each tied to a mechanism of
+    :mod:`repro.consensus.async_alg`:
+
+    * ``n ≥ 3f + 1`` — the vote-quorum intersection: a decision cites
+      ``n − f`` single-valued votes, and the next round's majority step
+      needs ``n − 2f > f``;
+    * connectivity ``≥ 2f + 1`` — totality of reliable receipt: ``f + 1``
+      fault-free disjoint paths to every node, with no timing assumption;
+    * minimum degree ``≥ ⌊3f/2⌋ + 1`` — the local-broadcast guarantee
+      that a faulty node's initiation is witnessed by enough honest
+      neighbors to propagate (implied by the connectivity clause, listed
+      separately because it is the clause the paper family names).
+    """
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    clauses = (
+        Clause("n >= 3f + 1 (vote-quorum intersection)", 3 * f + 1, graph.n),
+        Clause(
+            "connectivity >= 2f + 1",
+            async_threshold_connectivity(f),
+            vertex_connectivity(graph),
+        ),
+        Clause(
+            "minimum degree >= floor(3f/2) + 1",
+            (3 * f) // 2 + 1,
+            graph.min_degree(),
+        ),
+    )
+    return ConditionReport("async-local-broadcast", f, None, clauses)
+
+
 def check_point_to_point(graph: Graph, f: int) -> ConditionReport:
     """The classical Dolev bound: ``n ≥ 3f + 1`` and κ ≥ ``2f + 1``."""
     if f < 0:
@@ -153,6 +200,14 @@ def max_f_local_broadcast(graph: Graph) -> int:
     """The largest ``f`` for which Theorem 5.1 declares ``G`` feasible."""
     f = 0
     while check_local_broadcast(graph, f + 1).feasible:
+        f += 1
+    return f
+
+
+def max_f_async_local_broadcast(graph: Graph) -> int:
+    """The largest ``f`` for which the asynchronous regime is feasible."""
+    f = 0
+    while check_async_local_broadcast(graph, f + 1).feasible:
         f += 1
     return f
 

@@ -34,10 +34,13 @@ on its path, so honest downstream nodes are never blamed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 from ..graphs import Graph, has_disjoint_path_packing, max_disjoint_paths
 from ..net.messages import FloodMessage, ValuePayload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (oracle imports graphs)
+    from .path_oracle import PathOracle
 
 PathTuple = Tuple[Hashable, ...]
 TimedMessage = Tuple[int, object]  # (send round, message)
@@ -77,6 +80,7 @@ def reliable_value(
     me: Hashable,
     delivered: Dict[PathTuple, object],
     origin: Hashable,
+    oracle: Optional["PathOracle"] = None,
 ) -> Optional[int]:
     """Definition C.1 applied to a phase-1 value flood.
 
@@ -86,24 +90,73 @@ def reliable_value(
     ``None``.  Direct receipt (self / neighbor) takes precedence; for
     case (3) the value must arrive identically on ``f + 1`` internally
     node-disjoint ``origin→me`` paths.
+
+    A thin specialization of :func:`reliable_payload`: non-value
+    payloads are filtered out first (they never certify a value — and
+    must not shadow the direct slot either), then the generic
+    certificate runs; ``ValuePayload(0)`` sorts before ``ValuePayload(1)``,
+    preserving the historical δ ∈ (0, 1) probe order.
+    """
+    values_only = {
+        path: payload
+        for path, payload in delivered.items()
+        if isinstance(payload, ValuePayload)
+    }
+    payload = reliable_payload(graph, f, me, values_only, origin, oracle=oracle)
+    return payload.value if isinstance(payload, ValuePayload) else None
+
+
+def reliable_payload(
+    graph: Graph,
+    f: int,
+    me: Hashable,
+    delivered: Dict[PathTuple, object],
+    origin: Hashable,
+    oracle: Optional["PathOracle"] = None,
+) -> Optional[object]:
+    """Definition C.1 generalized to arbitrary flood payloads.
+
+    :func:`reliable_value` is specialized to phase-1 binary value floods;
+    the asynchronous algorithm (:mod:`repro.consensus.async_alg`) needs
+    the same certificate over votes and decisions too.  ``v`` reliably
+    receives ``origin``'s flooded payload if (1) ``origin == v``, (2) the
+    payload arrived on the direct edge, or (3) an *identical* payload
+    arrived along ``f + 1`` internally node-disjoint ``origin→v`` paths.
+
+    Single-valuedness (the property the asynchronous quorum logic leans
+    on): under local broadcast at most one payload per origin can ever
+    satisfy this anywhere — a second candidate needs ``f + 1`` disjoint
+    evidence paths each containing its own faulty internal node, and
+    there are at most ``f`` faults in total.
+
+    ``oracle`` (optional) is consulted first with the memoized packing
+    query ":math:`f + 1` node-disjoint paths from ``origin``'s neighbors
+    to ``me`` avoiding ``origin`` internally" — a graph-level upper bound
+    on any delivered packing.  When the graph itself cannot support the
+    certificate, the per-payload search is skipped entirely, and the
+    (shared) oracle answers from cache for every instance asking about
+    the same origin.
     """
     if origin == me:
-        own = delivered.get((me,))
-        return own.value if isinstance(own, ValuePayload) else None
+        return delivered.get((me,))
     direct = delivered.get((origin, me))
-    if isinstance(direct, ValuePayload):
-        return direct.value
-    for delta in (0, 1):
-        paths = [
-            p
-            for p, payload in delivered.items()
-            if len(p) >= 2
-            and p[0] == origin
-            and isinstance(payload, ValuePayload)
-            and payload.value == delta
-        ]
-        if has_disjoint_path_packing(paths, f + 1, mode="uv"):
-            return delta
+    if direct is not None:
+        return direct
+    groups: Dict[object, List[PathTuple]] = {}
+    for path, payload in delivered.items():
+        if len(path) >= 3 and path[0] == origin:
+            groups.setdefault(payload, []).append(path)
+    if not groups:
+        return None
+    if oracle is not None and me not in graph.neighbors(origin):
+        feasible = oracle.disjoint_paths_excluding(
+            graph.neighbors(origin), me, frozenset((origin,)), f + 1
+        )
+        if feasible is None:
+            return None
+    for payload in sorted(groups, key=repr):
+        if has_disjoint_path_packing(groups[payload], f + 1, mode="uv"):
+            return payload
     return None
 
 

@@ -21,10 +21,17 @@ from ..net.simulator import SimulationError, SynchronousNetwork
 from ..net.trace import Trace
 
 
-#: The three ways a run can end (``ConsensusResult.outcome``).
+#: The four ways a run can end (``ConsensusResult.outcome``).
 OUTCOME_DECIDED = "decided"
 OUTCOME_DISAGREED = "disagreed"
 OUTCOME_BUDGET_EXHAUSTED = "budget_exhausted"
+OUTCOME_STALLED = "stalled"
+
+#: Budget slack for message-driven protocols under a scheduler that
+#: declares *no* delay bound: the soft ``budget_hint`` (unit-delay ticks)
+#: cannot be scaled by a worst-case delay, so scale by this instead.
+#: Quiescence detection usually stops such runs long before the cap.
+_UNBOUNDED_BUDGET_SLACK = 8
 
 
 @dataclass(frozen=True)
@@ -39,6 +46,10 @@ class ConsensusResult:
     transmissions: int
     deliveries: int
     trace: Trace = field(repr=False)
+    #: Message-driven runs only: the network went quiescent (nothing in
+    #: flight, nothing sent, no local timers armed) with honest nodes
+    #: still undecided — a genuine non-termination, not clock exhaustion.
+    stalled: bool = False
 
     @property
     def honest_outputs(self) -> Dict[Hashable, Optional[int]]:
@@ -76,20 +87,24 @@ class ConsensusResult:
 
     @property
     def outcome(self) -> str:
-        """How the run ended, as a three-way verdict.
+        """How the run ended, as a four-way verdict.
 
         ``"decided"`` — every honest node decided and the decisions
         satisfy agreement and validity; ``"disagreed"`` — every honest
         node decided but the decisions violate agreement or validity (a
         genuine safety failure); ``"budget_exhausted"`` — some honest
-        node was still undecided when the virtual-time budget ran out.
-        The distinction matters for asynchronous runs: with a correctly
-        scaled budget (``total_rounds × worst_case_delay``), only
-        ``"disagreed"`` convicts the protocol of losing consensus, while
-        ``"budget_exhausted"`` convicts it of not terminating.
+        node was still undecided when the virtual-time budget ran out;
+        ``"stalled"`` (message-driven protocols only) — the run went
+        quiescent with honest nodes undecided, so no amount of further
+        virtual time could have helped.  The distinction matters for
+        asynchronous runs: with a correctly scaled budget
+        (``total_rounds × worst_case_delay`` for fixed-round protocols,
+        ``budget_hint`` for message-driven ones), only ``"disagreed"``
+        convicts the protocol of losing consensus, while the other two
+        convict it of not terminating — and ``"stalled"`` proves it.
         """
         if not self.terminated:
-            return OUTCOME_BUDGET_EXHAUSTED
+            return OUTCOME_STALLED if self.stalled else OUTCOME_BUDGET_EXHAUSTED
         if not (self.agreement and self.validity):
             return OUTCOME_DISAGREED
         return OUTCOME_DECIDED
@@ -153,11 +168,36 @@ def run_consensus(
         else:
             protocols[node] = honest_factory(node, inputs[node])
 
+    #: Quiescence-aware run loop iff every honest protocol is
+    #: message-driven (no round schedule — e.g. the asynchronous
+    #: algorithm): such protocols act only on arrivals and local timers,
+    #: so "nothing in flight + nothing sent + no timer armed" proves the
+    #: run can never progress again.
+    message_driven = all(
+        getattr(protocols[v], "message_driven", False)
+        for v in sorted(honest, key=repr)
+    )
+
     if max_rounds is None:
         known = []
         for v in sorted(honest, key=repr):
             budget = getattr(protocols[v], "total_rounds", None)
             if not isinstance(budget, int):
+                if getattr(protocols[v], "message_driven", False):
+                    # No round schedule exists; the protocol publishes a
+                    # *soft* tick envelope instead (unit-delay
+                    # denominated).  Scale it like a round budget when
+                    # the scheduler declares a bound; under an unbounded
+                    # scheduler apply a fixed slack — the quiescence
+                    # check below, not the cap, is the real terminator.
+                    hint = getattr(protocols[v], "budget_hint", None)
+                    if isinstance(hint, int):
+                        if scheduler is None:
+                            known.append(hint)
+                        elif scheduler.bounded:
+                            known.append(scheduler.horizon(hint))
+                        else:
+                            known.append(hint * _UNBOUNDED_BUDGET_SLACK)
                 continue
             if scheduler is not None and not getattr(
                 protocols[v], "budget_in_ticks", False
@@ -185,10 +225,14 @@ def run_consensus(
         net = SynchronousNetwork(graph, protocols, channel)
     else:
         net = EventDrivenNetwork(graph, protocols, scheduler.build(graph), channel)
-    try:
-        net.run_until_decided(max_rounds, honest=set(honest))
-    except SimulationError:
-        pass  # non-termination is reported through the result, not raised
+    stalled = False
+    if message_driven:
+        stalled = _run_message_driven(net, max_rounds, honest)
+    else:
+        try:
+            net.run_until_decided(max_rounds, honest=set(honest))
+        except SimulationError:
+            pass  # non-termination is reported through the result, not raised
     return ConsensusResult(
         outputs=net.outputs(),
         honest=honest,
@@ -198,4 +242,34 @@ def run_consensus(
         transmissions=net.trace.transmission_count,
         deliveries=net.trace.delivery_count,
         trace=net.trace,
+        stalled=stalled,
     )
+
+
+def _run_message_driven(net, max_ticks: int, honest: FrozenSet[Hashable]) -> bool:
+    """Run until every honest node decided, quiescence, or the tick cap.
+
+    Returns ``True`` iff the run *stalled*: the network carried no
+    undelivered messages, the last tick produced no transmissions, and no
+    honest protocol had a local timer armed — so the state is a fixpoint
+    and further ticks are provably futile.  (Timers on *faulty* wrappers
+    are invisible here; under the feasibility conditions honest quorums
+    never depend on them, see ``consensus/async_alg.py``.)
+    """
+    watch = sorted(honest, key=repr)
+
+    def undecided() -> bool:
+        return any(not net.protocols[v].finished for v in watch)
+
+    for _ in range(max_ticks):
+        if not undecided():
+            return False
+        sent_before = net.trace.transmission_count
+        net.step()
+        if (
+            net.trace.transmission_count == sent_before
+            and net.in_flight == 0
+            and not any(getattr(net.protocols[v], "armed", False) for v in watch)
+        ):
+            return undecided()
+    return False

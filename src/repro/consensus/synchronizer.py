@@ -24,10 +24,21 @@ existing :class:`~repro.net.node.Protocol` runs **unchanged**:
   broadcasts a :class:`RoundMarker`; per-link FIFO guarantees the
   marker arrives after the round's payloads, so "marker ``r`` received
   from every neighbor" certifies round ``r``'s messages are all in.
-  Needs **no delay bound** — but a Byzantine neighbor that withholds
-  markers stalls the handshake (the classical synchronizers assume
-  crash-free networks), so honest runs terminate under arbitrary
-  bounded delays while faulty runs may end ``budget_exhausted``.
+  Needs **no delay bound** for the fast path — and since the classical
+  all-neighbors handshake lets a single marker-withholding Byzantine
+  neighbor stall every honest node to ``budget_exhausted``, the
+  fault-tolerant variant (``f > 0``) advances on markers from
+  ``deg(v) − f`` neighbors instead of all, gated — when the scheduler
+  *declares* a delay bound (``ack_timeout``) — by the α-window schedule
+  as a timeout fallback: round ``r`` may fire on a partial marker set
+  only from tick ``(r − 1)·window + 1`` on.  The gate is what keeps the
+  quorum advance sound: by that tick every *honest* neighbor's round-
+  ``(r − 1)`` marker (and, by FIFO, every payload) has arrived, so the
+  at-most-``f`` neighbors advanced past are exactly the withholding
+  ones.  Under an unbounded scheduler no such gate exists, and the
+  quorum path stays off (the classical handshake; the native
+  asynchronous algorithm in :mod:`repro.consensus.async_alg` is the
+  delay-bound-free answer there).
 
 Nothing on the wire changes in alpha mode — adversary wrappers, channel
 enforcement and flood validators see exactly the messages they would see
@@ -81,7 +92,14 @@ class AlphaSynchronizer(Protocol):
     factory in the library).
     """
 
-    def __init__(self, inner: Protocol, window: int, mode: str = "alpha"):
+    def __init__(
+        self,
+        inner: Protocol,
+        window: int,
+        mode: str = "alpha",
+        f: int = 0,
+        ack_timeout: bool = False,
+    ):
         if window < 1:
             raise ValueError("window must be >= 1")
         if mode not in SYNCHRONIZER_MODES:
@@ -89,9 +107,18 @@ class AlphaSynchronizer(Protocol):
                 f"unknown synchronizer mode {mode!r}; "
                 f"choose from {list(SYNCHRONIZER_MODES)}"
             )
+        if f < 0:
+            raise ValueError("f must be non-negative")
         self.inner = inner
         self.window = window
         self.mode = mode
+        #: Ack-mode fault tolerance: advance on markers from deg − f
+        #: neighbors (f = 0 keeps the classical all-neighbors handshake).
+        self.f = f
+        #: Whether the α-window timeout gate is available (i.e. the
+        #: scheduler declared its delays bounded by ``window``).  The
+        #: partial-marker advance is only sound behind the gate.
+        self.ack_timeout = ack_timeout
         #: ``total_rounds`` below is denominated in virtual *ticks*, not
         #: synchronous rounds — the runner must not scale it by the
         #: scheduler's delay bound again.
@@ -195,9 +222,26 @@ class AlphaSynchronizer(Protocol):
             return False  # inner protocol has run its full schedule
         if self.logical_round == 0:
             return True  # round 1's inbox is empty by definition
-        return all(
-            self._markers.get(nbr, 0) >= self.logical_round for nbr in neighbors
+        have = sum(
+            1 for nbr in neighbors if self._markers.get(nbr, 0) >= self.logical_round
         )
+        if have == len(neighbors):
+            return True  # the classical fast path: everything is in
+        if self.f <= 0 or not self.ack_timeout:
+            # No fault allowance, or no declared delay bound to make a
+            # partial advance sound — keep waiting (Byzantine marker
+            # withholding then stalls the run, the classical behavior).
+            return False
+        if have < max(0, len(neighbors) - self.f):
+            return False
+        # α-window timeout fallback: the next round may fire on a partial
+        # marker set only from its alpha-schedule tick on.  Induction
+        # gives that every honest node executes round r by tick
+        # (r−1)·window + 1, so its markers — and, by per-link FIFO, its
+        # payloads — have arrived here by r·window + 1: the ≤ f neighbors
+        # being advanced past can only be withholding faults, never slow
+        # honest nodes.
+        return self._ticks >= self.logical_round * self.window + 1
 
     # ------------------------------------------------------------------
     def _advance(self, ctx: Context, inbox: Inbox) -> None:
@@ -237,7 +281,14 @@ class SynchronizedFactory:
     would.
     """
 
-    def __init__(self, inner: HonestFactory, window: int, mode: str = "alpha"):
+    def __init__(
+        self,
+        inner: HonestFactory,
+        window: int,
+        mode: str = "alpha",
+        f: int = 0,
+        ack_timeout: bool = False,
+    ):
         if window < 1:
             raise ValueError("window must be >= 1")
         if mode not in SYNCHRONIZER_MODES:
@@ -245,19 +296,27 @@ class SynchronizedFactory:
                 f"unknown synchronizer mode {mode!r}; "
                 f"choose from {list(SYNCHRONIZER_MODES)}"
             )
+        if f < 0:
+            raise ValueError("f must be non-negative")
         self.inner = inner
         self.window = window
         self.mode = mode
+        self.f = f
+        self.ack_timeout = ack_timeout
 
     def __call__(self, node: Hashable, input_value: int) -> AlphaSynchronizer:
         return AlphaSynchronizer(
-            self.inner(node, input_value), window=self.window, mode=self.mode
+            self.inner(node, input_value),
+            window=self.window,
+            mode=self.mode,
+            f=self.f,
+            ack_timeout=self.ack_timeout,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SynchronizedFactory({self.inner!r}, window={self.window}, "
-            f"mode={self.mode!r})"
+            f"mode={self.mode!r}, f={self.f}, ack_timeout={self.ack_timeout})"
         )
 
 
@@ -266,6 +325,8 @@ def synchronize_factory(
     scheduler: Optional["SchedulerSpec"] = None,
     mode: str = "alpha",
     window: Optional[int] = None,
+    f: int = 0,
+    ack_timeout: Optional[bool] = None,
 ) -> SynchronizedFactory:
     """Wrap ``factory`` with the window sized from a scheduler spec.
 
@@ -274,7 +335,18 @@ def synchronize_factory(
     unbounded scheduler requires an explicit ``window``: alpha mode
     cannot size its rounds without a bound (ack mode only uses the
     window to scale the tick budget, but still needs *a* number).
+
+    ``f`` enables ack mode's fault-tolerant marker quorum (``deg − f``);
+    the α-window timeout gate that makes the quorum advance sound is
+    switched on exactly when the scheduler declares a delay bound.
+    ``ack_timeout`` overrides that derivation for callers (the CLI)
+    whose bound declaration lives on a whole scheduler *axis* rather
+    than one spec — pass ``True`` only when every entry is bounded.
     """
+    if ack_timeout is None:
+        ack_timeout = (
+            mode == "ack" and scheduler is not None and scheduler.bounded
+        )
     if window is None:
         if scheduler is None:
             window = 1
@@ -296,4 +368,6 @@ def synchronize_factory(
                 f"{scheduler.name!r}'s declared worst-case delay "
                 f"{scheduler.worst_case_delay}"
             )
-    return SynchronizedFactory(factory, window=window, mode=mode)
+    return SynchronizedFactory(
+        factory, window=window, mode=mode, f=f, ack_timeout=ack_timeout
+    )

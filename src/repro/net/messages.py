@@ -69,9 +69,33 @@ class ReportPayload:
 
 @dataclass(frozen=True, slots=True)
 class DecisionPayload:
-    """Phase 3 of Algorithm 2: a type-B node floods its decision."""
+    """Phase 3 of Algorithm 2: a type-B node floods its decision.
+
+    The asynchronous algorithm (:mod:`repro.consensus.async_alg`) floods
+    the same payload under its own phase tag when a node commits."""
 
     value: int
+
+
+@dataclass(frozen=True, slots=True)
+class VotePayload:
+    """One vote of the asynchronous algorithm's quorum stage.
+
+    ``round_no`` is a *vote* round — a message-driven counter, not a
+    synchronous communication round: a node casts vote ``r + 1`` only
+    after collecting a quorum of round-``r`` votes, however long their
+    floods take.  Tagging the round into the payload (and into the flood
+    phase) keeps each round's votes in their own equivocation-free slot
+    space."""
+
+    round_no: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.round_no < 1:
+            raise ValueError(f"vote rounds start at 1, got {self.round_no!r}")
+        if self.value not in (0, 1):
+            raise ValueError(f"binary vote expected, got {self.value!r}")
 
 
 @dataclass(frozen=True, slots=True)

@@ -24,16 +24,27 @@ Broadcast atomicity then drags every broadcast by a boundary node up to
 precisely the constraint's bite: the adversary cannot rush a broadcast
 to one side while stalling it to the other.
 
-For complete (cut-free) or disconnected graphs the fallback bottleneck
-is the canonical half-split of the repr-sorted node order.  Everything
-is deterministic — the schedule is a pure function of (graph,
-max_delay), so adversarial sweeps stay byte-identical across runs and
-worker counts.
+For complete (cut-free) graphs the fallback bottleneck is the canonical
+half-split of the repr-sorted node order; a *disconnected* graph is
+partitioned component by component (each component gets its own
+bottleneck analysis, with side labels offset so they never collide) —
+half-splitting the whole node order there would let phantom
+cross-component "deliveries" shape the delays of traffic that can
+actually occur.  Everything is deterministic — the schedule is a pure
+function of (graph, max_delay, window), so adversarial sweeps stay
+byte-identical across runs and worker counts.
+
+Window targeting (``window=W``): instead of flat ``max_delay``
+stretching, bottleneck-crossing deliveries are timed to land exactly on
+the α-synchronizer's activation ticks ``(r − 1)·W + 1`` — the latest
+instant a window-``W`` synchronizer tolerates, so every such message is
+maximally stale *when the synchronizer reads it* while still arriving
+inside its soundness envelope (``W ≤ max_delay`` is enforced).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
 
 from ...graphs import Graph, GraphError, minimum_vertex_cut
 from ..channels import ChannelModel
@@ -49,16 +60,27 @@ class AdversarialScheduler(Scheduler):
 
     name = "adversarial"
     atomic_broadcast = True
-    bounded = True
 
-    def __init__(self, max_delay: int = 3):
+    def __init__(
+        self,
+        max_delay: int = 3,
+        window: Optional[int] = None,
+        declare_bound: bool = True,
+    ):
         if max_delay < 1:
             raise ValueError("max_delay must be >= 1")
+        if window is not None and not 1 <= window <= max_delay:
+            raise ValueError(
+                f"window must be in [1, max_delay]; got {window} with "
+                f"max_delay {max_delay}"
+            )
         self.max_delay = max_delay
+        self.window = window
+        self.bounded = declare_bound
 
     @property
-    def worst_case_delay(self) -> int:
-        return self.max_delay
+    def worst_case_delay(self) -> "int | None":
+        return self.max_delay if self.bounded else None
 
     def bind(self, graph: Graph, channel: ChannelModel) -> None:
         super().bind(graph, channel)
@@ -68,11 +90,36 @@ class AdversarialScheduler(Scheduler):
     def _partition(graph: Graph) -> Dict[Hashable, int]:
         """Label each node with its bottleneck side (cut nodes: boundary)."""
         side: Dict[Hashable, int] = {}
+        if graph.n and not graph.is_connected():
+            # Partition each component on its own bottleneck.  Offsetting
+            # the side labels keeps them distinct across components; the
+            # cross-component pairs that end up "on different sides" name
+            # deliveries no link can carry, so only the intra-component
+            # structure ever reaches ``delay``.
+            offset = 0
+            for component in sorted(
+                graph.connected_components(),
+                key=lambda comp: repr(sorted(comp, key=repr)),
+            ):
+                sub_side = AdversarialScheduler._partition(
+                    graph.remove_nodes(graph.nodes - component)
+                )
+                relabel: Dict[int, int] = {}
+                for v in sorted(sub_side, key=repr):
+                    label = sub_side[v]
+                    if label == _BOUNDARY:
+                        side[v] = _BOUNDARY
+                        continue
+                    if label not in relabel:
+                        relabel[label] = offset + len(relabel)
+                    side[v] = relabel[label]
+                offset += len(relabel)
+            return side
         try:
             cut = minimum_vertex_cut(graph)
         except GraphError:
-            # Complete or disconnected: no proper vertex cut exists.
-            # Fall back to the canonical half-split of the node order.
+            # Complete (cut-free): no proper vertex cut exists.  Fall
+            # back to the canonical half-split of the node order.
             nodes = sorted(graph.nodes, key=repr)
             half = (len(nodes) + 1) // 2
             for i, v in enumerate(nodes):
@@ -93,6 +140,12 @@ class AdversarialScheduler(Scheduler):
     def delay(self, send: SendEvent, recipient: Hashable) -> int:
         a = self._side.get(send.sender, _BOUNDARY)
         b = self._side.get(recipient, _BOUNDARY)
-        if a == _BOUNDARY or b == _BOUNDARY or a != b:
-            return self.max_delay
-        return 1
+        if not (a == _BOUNDARY or b == _BOUNDARY or a != b):
+            return 1
+        if self.window:
+            # Land exactly on the next α-schedule activation tick
+            # (r−1)·W + 1: the smallest d ≥ 1 with send.time + d ≡ 1
+            # (mod W).  d ≤ W ≤ max_delay, so the declared bound holds.
+            d = (1 - send.time) % self.window
+            return d if d else self.window
+        return self.max_delay

@@ -29,20 +29,28 @@ from .events import SendEvent
 
 
 class SeededAsyncScheduler(Scheduler):
-    """Uniform random per-link delays in ``{1, …, max_delay}``."""
+    """Uniform random per-link delays in ``{1, …, max_delay}``.
+
+    ``declare_bound=False`` withdraws the delay-bound *declaration*
+    while drawing exactly the same delays: the traces are unchanged, but
+    ``bounded``-querying layers (runner horizons, the α-synchronizer)
+    must treat the timing as genuinely asynchronous — the regime of the
+    native asynchronous algorithm (arXiv:1909.02865), which never reads
+    a bound in the first place.
+    """
 
     name = "seeded-async"
-    bounded = True
 
-    def __init__(self, seed: int = 0, max_delay: int = 3):
+    def __init__(self, seed: int = 0, max_delay: int = 3, declare_bound: bool = True):
         if max_delay < 1:
             raise ValueError("max_delay must be >= 1")
         self.seed = seed
         self.max_delay = max_delay
+        self.bounded = declare_bound
 
     @property
-    def worst_case_delay(self) -> int:
-        return self.max_delay
+    def worst_case_delay(self) -> "int | None":
+        return self.max_delay if self.bounded else None
 
     def bind(self, graph: Graph, channel: ChannelModel) -> None:
         super().bind(graph, channel)

@@ -141,6 +141,16 @@ class SynchronousNetwork(NetworkEngine):
         super().__init__(graph, protocols, channel)
         self._pending: Dict[Hashable, Inbox] = {v: [] for v in graph.nodes}
 
+    @property
+    def in_flight(self) -> int:
+        """Messages queued for next round's inboxes (for quiescence checks).
+
+        Mirrors :attr:`~repro.net.sched.EventDrivenNetwork.in_flight` so
+        the runner's message-driven termination accounting works on both
+        engines.
+        """
+        return sum(len(inbox) for inbox in self._pending.values())
+
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Execute one synchronous round."""

@@ -89,6 +89,36 @@ class TestDisjointPathsExcluding:
         assert oracle.disjoint_paths_excluding({0}, 2, set(), 3) is None
         assert oracle.cache_info()["hits"] == 1
 
+    def test_reliable_payload_routes_through_the_packing_cache(self):
+        """The asynchronous algorithm's certificate checks ask the oracle
+        for packing feasibility before packing delivered paths — the
+        answer must not change, and repeated checks about the same
+        origin must hit the cache."""
+        from repro.consensus import reliable_payload
+
+        graph = cycle_graph(5)  # κ = 2: f+1 = 2 disjoint paths exist
+        oracle = PathOracle(graph)
+        delivered = {
+            (0, 1, 2): "payload",
+            (0, 4, 3, 2): "payload",
+        }
+        with_oracle = reliable_payload(graph, 1, 2, delivered, 0, oracle=oracle)
+        without = reliable_payload(graph, 1, 2, delivered, 0)
+        assert with_oracle == without == "payload"
+        assert oracle.cache_info()["packings"] == 1
+        reliable_payload(graph, 1, 2, delivered, 0, oracle=oracle)
+        assert oracle.cache_info()["hits"] == 1
+        # An origin the graph cannot certify is cut off by the oracle
+        # before any delivered-path packing runs — and cached as None.
+        from repro.graphs import path_graph
+
+        line = path_graph(4)  # κ = 1: no 2-packing exists to anyone
+        line_oracle = PathOracle(line)
+        assert reliable_payload(
+            line, 1, 3, {(0, 1, 2, 3): "x"}, 0, oracle=line_oracle
+        ) is None
+        assert line_oracle.cache_info()["packings"] == 1
+
 
 class TestSharing:
     def test_factory_shares_one_oracle(self):

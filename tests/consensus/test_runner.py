@@ -228,3 +228,74 @@ class TestDelayAwareBudget:
                 f=1,
                 scheduler=UnboundedSpec(),
             )
+
+
+class _Mute(Protocol):
+    """Message-driven stub: initiates nothing, waits forever, never arms."""
+
+    message_driven = True
+    total_rounds = None
+    budget_hint = 50
+    armed = False
+
+    def on_round(self, ctx):
+        return
+
+    def output(self):
+        return None
+
+
+class TestMessageDrivenAccounting:
+    """Protocols with no round schedule: budget by hint, stop on
+    quiescence, report genuine fixpoints as ``stalled``."""
+
+    def test_quiescent_undecided_run_is_stalled(self):
+        g = cycle_graph(4)
+        res = run_consensus(g, lambda v, x: _Mute(), {v: 0 for v in g.nodes},
+                            f=0, scheduler=SchedulerSpec("lockstep"))
+        assert not res.terminated
+        assert res.stalled
+        assert res.outcome == "stalled"
+        # Quiescence fired on the very first silent tick, not at the cap.
+        assert res.rounds == 1
+
+    def test_stall_detection_works_on_the_synchronous_engine(self):
+        g = cycle_graph(4)
+        res = run_consensus(g, lambda v, x: _Mute(), {v: 0 for v in g.nodes},
+                            f=0)
+        assert res.outcome == "stalled"
+
+    def test_armed_protocols_are_not_stalled(self):
+        """A pending local timer means the run may still progress: the
+        loop must keep ticking (to the cap) instead of declaring a
+        stall."""
+
+        class Stubborn(_Mute):
+            armed = True
+
+        g = cycle_graph(4)
+        res = run_consensus(g, lambda v, x: Stubborn(),
+                            {v: 0 for v in g.nodes}, f=0)
+        assert res.outcome == "budget_exhausted"
+        assert res.rounds == Stubborn.budget_hint
+
+    def test_budget_hint_scales_with_the_declared_bound(self):
+        class Counter(_Mute):
+            armed = True
+
+        g = cycle_graph(4)
+        spec = SchedulerSpec("seeded-async", seed=1, max_delay=3)
+        res = run_consensus(g, lambda v, x: Counter(),
+                            {v: 0 for v in g.nodes}, f=0, scheduler=spec)
+        assert res.rounds == Counter.budget_hint * 3  # horizon(hint)
+
+    def test_mixed_with_fixed_round_protocols_uses_the_classic_loop(self):
+        """Quiescence stops require *every* honest protocol to be
+        message-driven; a fixed-round protocol in the mix falls back to
+        the classic budget-bounded loop."""
+        c5 = cycle_graph(5)
+        res = run_consensus(
+            c5, algorithm1_factory(c5, 1), {v: 0 for v in c5.nodes}, f=1
+        )
+        assert res.outcome == "decided"
+        assert not res.stalled

@@ -217,15 +217,18 @@ class TestAckMode:
         assert ack.consensus
         assert ack.decision == sync.decision
 
-    def test_silent_fault_stalls_the_handshake(self):
-        """A Byzantine node that withholds markers blocks round advance —
+    def test_silent_fault_stalls_the_classical_handshake(self):
+        """With no fault allowance (f = 0, the pre-fix behavior), a
+        Byzantine node that withholds markers blocks round advance —
         the classical synchronizer's documented fault-intolerance,
         surfaced as a budget_exhausted outcome (never as disagreement)."""
         g = cycle_graph(4)
         inputs = {v: v % 2 for v in g.nodes}
         res = run_consensus(
             g,
-            synchronize_factory(algorithm2_factory(g, 1), SEEDED, mode="ack"),
+            synchronize_factory(
+                algorithm2_factory(g, 1), SEEDED, mode="ack", f=0
+            ),
             inputs,
             f=1,
             faulty=[1],
@@ -234,6 +237,74 @@ class TestAckMode:
         )
         assert res.outcome == "budget_exhausted"
         assert not res.terminated
+
+    @pytest.mark.parametrize(
+        "spec", [SEEDED, ADVERSARIAL], ids=["seeded-async", "adversarial"]
+    )
+    def test_marker_withholding_fault_decides_with_quorum(self, spec):
+        """The regression the fix exists for: alg2/C4 + ack + one
+        marker-withholding Byzantine node must reach ``decided`` (with
+        the synchronous run's exact decision), not ``budget_exhausted``.
+        The ``deg − f`` marker quorum advances past the withholder; the
+        α-window gate keeps honest payloads from ever being skipped."""
+        g = cycle_graph(4)
+        inputs = {v: v % 2 for v in g.nodes}
+        sync = run_consensus(
+            g, algorithm2_factory(g, 1), inputs, f=1,
+            faulty=[1], adversary=SilentAdversary(),
+        )
+        fixed = run_consensus(
+            g,
+            synchronize_factory(
+                algorithm2_factory(g, 1), spec, mode="ack", f=1
+            ),
+            inputs,
+            f=1,
+            faulty=[1],
+            adversary=SilentAdversary(),
+            scheduler=spec,
+        )
+        assert fixed.outcome == "decided"
+        assert fixed.consensus
+        assert fixed.decision == sync.decision
+
+    def test_quorum_advance_never_skips_honest_payloads(self):
+        """Fault-free, the fault-tolerant handshake must still be
+        decision-identical to the synchronous run — the α-window gate is
+        what guarantees slow honest neighbors are waited for."""
+        g = cycle_graph(4)
+        inputs = {v: v % 2 for v in g.nodes}
+        sync = run_consensus(g, algorithm2_factory(g, 1), inputs, f=1)
+        ack = run_consensus(
+            g,
+            synchronize_factory(
+                algorithm2_factory(g, 1), SEEDED, mode="ack", f=1
+            ),
+            inputs,
+            f=1,
+            scheduler=SEEDED,
+        )
+        assert ack.consensus
+        assert ack.decision == sync.decision
+
+    def test_quorum_needs_the_declared_bound(self):
+        """Under a scheduler that declares no delay bound there is no
+        sound timeout gate, so the quorum path stays off and the
+        withholding fault stalls the run even with f = 1 — the native
+        asynchronous algorithm is the answer in that regime."""
+        g = cycle_graph(4)
+        inputs = {v: v % 2 for v in g.nodes}
+        unbounded = SchedulerSpec("seeded-async", seed=7, max_delay=3,
+                                  unbounded=True)
+        factory = synchronize_factory(
+            algorithm2_factory(g, 1), unbounded, mode="ack", window=3, f=1
+        )
+        assert not factory.ack_timeout
+        res = run_consensus(
+            g, factory, inputs, f=1,
+            faulty=[1], adversary=SilentAdversary(), scheduler=unbounded,
+        )
+        assert res.outcome == "budget_exhausted"
 
     def test_markers_trail_their_round_payloads(self):
         """Per-link FIFO: every round-r payload precedes marker r."""

@@ -128,6 +128,86 @@ class TestAdversarial:
         net = run_network(g, AdversarialScheduler(max_delay=3))
         assert net.trace.max_latency == 3
 
+    def test_disconnected_graph_partitions_by_component(self):
+        """Two disjoint triangles: the old half-split of the global node
+        order cut *through* a component based on phantom cross-component
+        deliveries.  Each component must get its own bottleneck analysis
+        — here each triangle is complete, so each is half-split within
+        itself, and no component's labels collide with another's."""
+        from repro.graphs import Graph
+
+        g = Graph(range(6), [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        side = AdversarialScheduler._partition(g)
+        left = {side[v] for v in (0, 1, 2)}
+        right = {side[v] for v in (3, 4, 5)}
+        assert left.isdisjoint(right)  # labels never leak across components
+        # Each complete triangle is half-split internally (2 sides), so
+        # the adversary still stretches something within every component.
+        assert len(left) == 2 and len(right) == 2
+        scheduler = AdversarialScheduler(max_delay=3)
+        net = run_network(g, scheduler)
+        delays = {d.delivered_at - d.sent_at for d in net.trace.deliveries}
+        assert 3 in delays  # intra-component stretching survives the fix
+
+    def test_connected_graph_partition_unchanged(self):
+        """The component fix must not disturb connected-graph behavior."""
+        g = paper_figure_1a()
+        side = AdversarialScheduler._partition(g)
+        assert set(side) == set(g.nodes)
+        assert -1 in side.values()  # a real cut still labels boundaries
+
+    def test_window_targeting_lands_on_alpha_boundaries(self):
+        """With ``window=W``, every stretched delivery arrives exactly on
+        an α-schedule activation tick ``(r − 1)·W + 1``."""
+        g = paper_figure_1a()
+        window = 3
+        net = run_network(g, AdversarialScheduler(max_delay=3, window=window))
+        stretched = [d for d in net.trace.deliveries
+                     if d.delivered_at - d.sent_at > 1]
+        assert stretched
+        for d in stretched:
+            assert (d.delivered_at - 1) % window == 0, d
+        assert_physics(net.trace, 3)
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialScheduler(max_delay=3, window=4)
+        with pytest.raises(ValueError):
+            AdversarialScheduler(max_delay=3, window=0)
+
+
+class TestUnboundedDeclaration:
+    def test_same_physics_without_the_promise(self):
+        """declare_bound=False changes declarations, never delays."""
+        g = cycle_graph(5)
+        declared = run_network(g, SeededAsyncScheduler(seed=11, max_delay=3))
+        undeclared = run_network(
+            g, SeededAsyncScheduler(seed=11, max_delay=3, declare_bound=False)
+        )
+        assert undeclared.trace.deliveries == declared.trace.deliveries
+
+    def test_scheduler_contract(self):
+        s = SeededAsyncScheduler(seed=0, max_delay=3, declare_bound=False)
+        assert not s.bounded
+        assert s.worst_case_delay is None
+        a = AdversarialScheduler(max_delay=3, declare_bound=False)
+        assert not a.bounded and a.worst_case_delay is None
+
+    def test_spec_round_trip(self):
+        spec = SchedulerSpec("adversarial", max_delay=3, unbounded=True,
+                             window=2)
+        assert spec.name == "adversarial-unbounded"
+        assert not spec.bounded
+        built = spec.build(cycle_graph(4))
+        assert not built.bounded
+        assert built.window == 2
+        parsed = parse_scheduler("seeded-async", seed=1, max_delay=3,
+                                 unbounded=True, window=2)
+        assert parsed.unbounded
+        assert parsed.window == 0  # window only decorates the adversarial kind
+        with pytest.raises(ValueError):
+            SchedulerSpec("adversarial", max_delay=3, window=5)
+
 
 class TestSchedulerErrors:
     def test_zero_delay_is_rejected(self):

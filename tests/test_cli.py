@@ -222,6 +222,87 @@ class TestSynchronizerFlag:
         assert "outcome       : decided" in out
 
 
+class TestAsyncAlgorithm:
+    def test_check_reports_async_feasibility(self, capsys):
+        assert main(["check", "--graph", "wheel:5", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "async-local-broadcast (f=1): FEASIBLE" in out
+        assert "max f (async LB):" in out
+
+    def test_run_async(self, capsys):
+        code = main([
+            "run", "--graph", "wheel:5", "--f", "1", "--algorithm", "async",
+            "--faulty", "1", "--adversary", "silent",
+            "--scheduler", "seeded-async", "--seed", "7",
+            "--declare-unbounded",
+        ])
+        assert code == 0
+        assert "outcome       : decided" in capsys.readouterr().out
+
+    def test_async_refuses_a_synchronizer(self):
+        with pytest.raises(SystemExit, match="natively asynchronous"):
+            main([
+                "run", "--graph", "wheel:5", "--f", "1",
+                "--algorithm", "async", "--synchronizer", "alpha",
+            ])
+
+    def test_sweep_async_unbounded_with_window_targeting(self, capsys):
+        code = main([
+            "sweep", "--graph", "wheel:5", "--f", "1", "--algorithm", "async",
+            "--scheduler", "seeded-async,adversarial", "--seed", "5",
+            "--declare-unbounded", "--target-window", "3",
+            "--patterns", "split",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["all_consensus"] is True
+        assert payload["outcomes"] == {"decided": payload["runs"]}
+        assert {r["scheduler"] for r in payload["records"]} == {
+            "seeded-async-unbounded", "adversarial-unbounded",
+        }
+
+    @pytest.mark.parametrize("command", ["run", "sweep"])
+    def test_unbounded_axis_refuses_fixed_round_algorithms(self, command):
+        """A fixed-round algorithm cannot be budgeted with no declared
+        bound — that must be a clean CLI error, not a mid-run traceback."""
+        with pytest.raises(SystemExit, match="algorithm async"):
+            main([
+                command, "--graph", "cycle:4", "--f", "1", "--algorithm", "2",
+                "--scheduler", "seeded-async", "--declare-unbounded",
+            ])
+
+    def test_unbounded_axis_refuses_a_synchronizer(self):
+        # Caught by the same fixed-round guard, before any wrapping.
+        with pytest.raises(SystemExit, match="algorithm async"):
+            main([
+                "sweep", "--graph", "cycle:4", "--f", "1", "--algorithm", "2",
+                "--scheduler", "seeded-async", "--declare-unbounded",
+                "--synchronizer", "alpha",
+            ])
+
+    def test_target_window_above_max_delay_rejected(self):
+        with pytest.raises(SystemExit):
+            main([
+                "run", "--graph", "wheel:5", "--f", "1",
+                "--algorithm", "async", "--scheduler", "adversarial",
+                "--max-delay", "3", "--target-window", "4",
+            ])
+
+    def test_run_fixed_ack_decides_marker_withholding(self, capsys):
+        """The CLI wires --f into ack mode's marker quorum, so the
+        Byzantine-stall scenario now decides from the command line too."""
+        code = main([
+            "run", "--graph", "cycle:4", "--f", "1", "--algorithm", "2",
+            "--faulty", "1", "--adversary", "silent",
+            "--scheduler", "seeded-async", "--seed", "7",
+            "--synchronizer", "ack",
+        ])
+        assert code == 0
+        assert "outcome       : decided" in capsys.readouterr().out
+
+
 class TestRandomGraphSpecs:
     def test_random_regular_spec(self):
         from repro.graphs import random_regular_graph
