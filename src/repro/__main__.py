@@ -8,6 +8,7 @@ Usage::
     python -m repro sweep --graph cycle:5 --f 1 --workers 2
     python -m repro sweep --graph cycle:5 --f 1 \
                           --scheduler seeded-async --seed 7 --max-delay 3
+    python -m repro lint  src benchmarks examples [--format json]
     python -m repro compare --max-f 5
     python -m repro demo-impossibility --kind degree --f 1
 
@@ -334,6 +335,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if report.all_consensus else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     print(f"{'f':>3} {'kappa p2p':>10} {'kappa LB':>9} "
           f"{'min n p2p':>10} {'min n LB':>9}")
@@ -451,6 +458,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "fixed-round algorithms; use for determinism "
                         "smoke checks)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "lint",
+        help="AST-based determinism & protocol-contract checker "
+             "(REPRO001-REPRO005)",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("compare", help="print the model-requirement table")
     p.add_argument("--max-f", type=int, default=5)

@@ -259,6 +259,9 @@ def sweep_tasks(
     for faulty in fault_subsets(graph, f, limit=fault_limit, seed=seed):
         for scheduler_index in range(len(schedulers)):
             for adversary_index in range(len(adversaries)):
+                # repro: allow[REPRO001] pattern order IS the canonical
+                # record order: input_patterns builds this dict in a fixed
+                # literal order and CLI subsets preserve it.
                 for name in patterns:
                     tasks.append(
                         SweepTask(

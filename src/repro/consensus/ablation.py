@@ -95,7 +95,8 @@ class AblatedAlgorithm1Factory:
         )
 
     def __reduce__(self):
-        return (type(self), (self.graph, self.f))
+        # Carry the (warm) oracle across the process boundary.
+        return (type(self), (self.graph, self.f), {"oracle": self.oracle})
 
 
 def ablated_algorithm1_factory(graph: Graph, f: int) -> AblatedAlgorithm1Factory:
@@ -167,6 +168,9 @@ def reliable_value_with_threshold(
     for delta in (0, 1):
         paths = [
             p
+            # repro: allow[REPRO001] delivered's insertion order is the
+            # deterministic flood-processing order, and the consumer only
+            # checks packing *existence* (order-insensitive).
             for p, payload in delivered.items()
             if len(p) >= 2
             and p[0] == origin

@@ -196,6 +196,9 @@ class ExactConsensusProtocol(Protocol):
         for delta in (0, 1):
             candidates = [
                 p
+                # repro: allow[REPRO001] delivered's insertion order is the
+                # deterministic flood-processing order; the consumer only
+                # checks packing *existence* (order-insensitive).
                 for p, payload in delivered.items()
                 if len(p) >= 2
                 and p[0] in a_set
@@ -240,7 +243,9 @@ class Algorithm1Factory:
     computed once per *graph* instead of once per node.  Being a plain
     class (not a closure), the factory crosses process boundaries — the
     parallel sweep engine ships it to its workers; ``__reduce__`` of the
-    oracle keeps that cheap by dropping caches in transit.
+    oracle keeps that cheap by shipping only the structural memos
+    (pruned graphs and BFS trees), so workers start warm without
+    carrying the per-query caches.
     """
 
     def __init__(self, graph: Graph, f: int):
@@ -254,7 +259,9 @@ class Algorithm1Factory:
         )
 
     def __reduce__(self):
-        return (type(self), (self.graph, self.f))
+        # The state dict carries the (warm) oracle across the process
+        # boundary, replacing the cold one __init__ builds.
+        return (type(self), (self.graph, self.f), {"oracle": self.oracle})
 
 
 def algorithm1_factory(graph: Graph, f: int) -> Algorithm1Factory:

@@ -162,6 +162,8 @@ class Algorithm2Protocol(Protocol):
                 self.reliable_values[origin] = value
         bundles = {
             path: payload
+            # repro: allow[REPRO001] delivered's insertion order is the
+            # deterministic flood-processing order, preserved verbatim.
             for path, payload in self._flood2.delivered.items()
             if isinstance(payload, ReportBundle) and len(path) >= 2
         }
@@ -171,6 +173,8 @@ class Algorithm2Protocol(Protocol):
             self.me,
             bundle_deliveries=bundles,
             own_transcripts={
+                # repro: allow[REPRO001] keyed by neighbor in deterministic
+                # arrival-processing order; consumers look up by key only.
                 nbr: tuple(msgs) for nbr, msgs in self._transcripts.items()
             },
             own_sent=tuple(self._own_sent),

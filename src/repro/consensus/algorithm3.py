@@ -49,7 +49,12 @@ class Algorithm3Factory:
         )
 
     def __reduce__(self):
-        return (type(self), (self.graph, self.f, self.t))
+        # Carry the (warm) oracle across the process boundary.
+        return (
+            type(self),
+            (self.graph, self.f, self.t),
+            {"oracle": self.oracle},
+        )
 
 
 def algorithm3_factory(graph: Graph, f: int, t: int) -> Algorithm3Factory:

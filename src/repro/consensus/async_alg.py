@@ -354,9 +354,9 @@ class AsyncFactory:
     All instances on one graph share one :class:`PathOracle`, so the
     packing-feasibility prechecks of every certificate check are computed
     once per (origin, threshold) instead of once per node.  Pickles
-    exactly like the other ``*Factory`` classes (the oracle drops its
-    caches in transit), so asynchronous sweeps fan out across worker
-    processes byte-identically.
+    exactly like the other ``*Factory`` classes (the oracle ships its
+    structural memos, so workers start warm), and asynchronous sweeps
+    fan out across worker processes byte-identically.
     """
 
     def __init__(self, graph: Graph, f: int, patience: Optional[int] = None):
@@ -372,7 +372,12 @@ class AsyncFactory:
         )
 
     def __reduce__(self):
-        return (type(self), (self.graph, self.f, self.patience))
+        # Carry the (warm) oracle across the process boundary.
+        return (
+            type(self),
+            (self.graph, self.f, self.patience),
+            {"oracle": self.oracle},
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AsyncFactory(n={self.graph.n}, f={self.f})"

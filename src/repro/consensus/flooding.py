@@ -159,6 +159,8 @@ class FloodInstance:
     def paths_from(self, origin: Hashable) -> Dict[PathTuple, Payload]:
         """All delivered paths whose *origin* (first node) is ``origin``."""
         return {
+            # repro: allow[REPRO001] hot path: delivered's insertion order
+            # is the deterministic flood-processing order, preserved here.
             p: payload for p, payload in self.delivered.items() if p[0] == origin
         }
 

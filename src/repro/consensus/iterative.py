@@ -98,7 +98,7 @@ class WMSRResult:
 
     @property
     def final_range(self) -> float:
-        values = list(self.final_values.values())
+        values = sorted(self.final_values.values())
         return max(values) - min(values)
 
     @property
@@ -143,7 +143,7 @@ def run_wmsr(
         broadcast: Dict[Hashable, float] = {}
         for v in honest:
             broadcast[v] = state[v]
-        for v, behavior in faulty.items():
+        for v, behavior in sorted(faulty.items(), key=lambda kv: repr(kv[0])):
             broadcast[v] = float(behavior(rnd))
         new_state = {}
         for v in honest:

@@ -23,8 +23,13 @@ traversals iterate neighbors in ``repr`` order, so every answer is a pure
 function of the query (independent of ``PYTHONHASHSEED``), which the
 deterministic cross-process sweep engine relies on.
 
-The oracle deliberately drops its caches when pickled: worker processes
-rebuild them lazily, so shipping a factory to a process pool stays cheap.
+When pickled, the oracle ships its *structural* memos — the pruned
+graphs and BFS parent trees, which dominate the rebuild cost and are
+pure functions of the graph — so sweep workers start warm.  The
+per-query result caches (paths, packings) and the hit/miss counters are
+per-process state and deliberately stay behind, keeping the pickle
+payload proportional to the phase structure rather than the query
+history.
 """
 
 from __future__ import annotations
@@ -43,7 +48,11 @@ class PathOracle:
     __slots__ = ("graph", "_pruned", "_trees", "_paths", "_packings",
                  "hits", "misses")
 
-    def __init__(self, graph: Graph):
+    def __init__(
+        self,
+        graph: Graph,
+        warm: Optional[Tuple[dict, dict]] = None,
+    ):
         self.graph = graph
         self._pruned: Dict[FrozenSet[Hashable], Graph] = {}
         self._trees: Dict[
@@ -58,10 +67,23 @@ class PathOracle:
         ] = {}
         self.hits = 0
         self.misses = 0
+        if warm is not None:
+            pruned, trees = warm
+            self._pruned.update(pruned)
+            self._trees.update(trees)
 
     def __reduce__(self):
-        # Caches are per-process state; a pickled oracle starts cold.
-        return (type(self), (self.graph,))
+        # Ship the structural memos (pruned graphs and BFS parent trees)
+        # so sweep workers start warm — these dominate the rebuild cost
+        # and are pure functions of the graph.  The per-query result
+        # caches (_paths/_packings) and the hit counters stay
+        # per-process: they are cheap to refill and keeping them local
+        # keeps the pickle payload proportional to the phase structure,
+        # not to the query history.
+        return (
+            type(self),
+            (self.graph, (dict(self._pruned), dict(self._trees))),
+        )
 
     # ------------------------------------------------------------------
     def pruned(self, removed: FrozenSet[Hashable]) -> Graph:

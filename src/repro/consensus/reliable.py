@@ -99,6 +99,8 @@ def reliable_value(
     """
     values_only = {
         path: payload
+        # repro: allow[REPRO001] hot path: delivered's insertion order is
+        # the deterministic flood-processing order, preserved verbatim.
         for path, payload in delivered.items()
         if isinstance(payload, ValuePayload)
     }
@@ -143,6 +145,9 @@ def reliable_payload(
     if direct is not None:
         return direct
     groups: Dict[object, List[PathTuple]] = {}
+    # repro: allow[REPRO001] hot path: delivered's insertion order is the
+    # deterministic flood-processing order, and the payload loop below
+    # sorts `groups` by repr before any order-sensitive use.
     for path, payload in delivered.items():
         if len(path) >= 3 and path[0] == origin:
             groups.setdefault(payload, []).append(path)
@@ -187,6 +192,9 @@ class ClaimIndex:
         self.own_sent = own_sent
         # transcript evidence: subject -> claimed transcript -> [composite paths]
         self._transcript_paths: Dict[Hashable, Dict[Transcript, List[PathTuple]]] = {}
+        # repro: allow[REPRO001] bundle_deliveries preserves the
+        # deterministic flood-processing insertion order; the evidence
+        # lists built here feed packing-existence checks only.
         for path, bundle in bundle_deliveries.items():
             reporter = path[0]
             if bundle.reporter != reporter:
@@ -218,6 +226,9 @@ class ClaimIndex:
         if subject in self.graph.neighbors(self.me):
             result = self.own_transcripts.get(subject, ())
         else:
+            # repro: allow[REPRO001] insertion order is deterministic and
+            # at most one transcript can ever pass the f+1 disjoint-path
+            # certificate (single-valuedness), so order cannot matter.
             for transcript, paths in self._transcript_paths.get(subject, {}).items():
                 if has_disjoint_path_packing(paths, self.f + 1, mode="uv"):
                     result = transcript
@@ -245,6 +256,8 @@ class ClaimIndex:
         else:
             paths = [
                 p
+                # repro: allow[REPRO001] deterministic insertion order; the
+                # consumer only checks packing *existence*.
                 for transcript, plist in self._transcript_paths.get(subject, {}).items()
                 if any(m == message for _, m in transcript)
                 for p in plist

@@ -83,6 +83,8 @@ class ConsensusResult:
         """The common honest output, when agreement holds."""
         if not self.agreement:
             return None
+        # repro: allow[REPRO001] agreement holds here, so the set is a
+        # singleton and iteration order is vacuous.
         return next(iter({self.outputs[v] for v in self.honest}))
 
     @property
@@ -237,7 +239,7 @@ def run_consensus(
         outputs=net.outputs(),
         honest=honest,
         faulty=faulty_set,
-        honest_inputs={v: inputs[v] for v in honest},
+        honest_inputs={v: inputs[v] for v in sorted(honest, key=repr)},
         rounds=net.trace.rounds,
         transmissions=net.trace.transmission_count,
         deliveries=net.trace.delivery_count,

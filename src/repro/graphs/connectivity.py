@@ -71,7 +71,11 @@ class _FlowNetwork:
         """Dinic's algorithm.  Returns ``(value, flow)`` with the same
         residual-flow representation the rest of the module consumes."""
         capacity = self.capacity
+        # repro: allow[REPRO001] _adj's insertion order is canonical by
+        # construction (the builders insert arcs in repr-sorted node
+        # order), which is exactly what makes Dinic deterministic here.
         flow: dict[tuple, dict[tuple, int]] = {u: {} for u in self._adj}
+        # repro: allow[REPRO001] same canonical insertion order as above.
         adjacency = {u: list(nbrs) for u, nbrs in self._adj.items()}
         total = 0
         while True:
@@ -146,6 +150,8 @@ class _FlowNetwork:
 
     def max_flow_reference(self) -> tuple[int, dict[tuple, dict[tuple, int]]]:
         """The original Edmonds–Karp implementation (test oracle only)."""
+        # repro: allow[REPRO001] _adj's insertion order is canonical by
+        # construction (arcs inserted in repr-sorted node order).
         flow: dict[tuple, dict[tuple, int]] = {u: {} for u in self._adj}
 
         def residual(a: tuple, b: tuple) -> int:
@@ -249,7 +255,12 @@ def _decompose_paths(
     so every returned path is simple.
     """
     succ: dict[tuple, list[tuple]] = {}
+    # repro: allow[REPRO001] flow dicts inherit the canonical repr-sorted
+    # arc insertion order of _FlowNetwork; iterating them (not sorting)
+    # is deliberate — re-ordering would change *which* valid path
+    # decomposition is produced.
     for u, nbrs in flow.items():
+        # repro: allow[REPRO001] same canonical insertion order.
         for v, fv in nbrs.items():
             if fv > 0:
                 succ.setdefault(u, []).extend([v] * fv)

@@ -23,6 +23,8 @@ def neighbors_of_set(graph: Graph, s: Iterable[Node]) -> set[Node]:
     """Nodes outside ``S`` that have an edge into ``S`` (paper, Section 3)."""
     s_set = set(s)
     out: set[Node] = set()
+    # repro: allow[REPRO001] set union is commutative — the visiting
+    # order cannot affect the result.
     for v in s_set:
         out |= graph.neighbors(v)
     return out - s_set

@@ -55,8 +55,11 @@ class Graph:
                 edge_count += 1
             adj[u].add(v)
             adj[v].add(u)
+        # repr-sorted so the adjacency dict's insertion order is a pure
+        # function of the graph, never of the node/edge argument order.
         self._adj: dict[Node, FrozenSet[Node]] = {
-            v: frozenset(nbrs) for v, nbrs in adj.items()
+            v: frozenset(nbrs)
+            for v, nbrs in sorted(adj.items(), key=lambda kv: repr(kv[0]))
         }
         self._nodes: FrozenSet[Node] = frozenset(self._adj)
         self._edge_count = edge_count
@@ -146,7 +149,9 @@ class Graph:
         return len(self._nodes)
 
     def __iter__(self) -> Iterator[Node]:
-        return iter(self._nodes)
+        # repr order, not frozenset order: `for v in graph` must never
+        # leak PYTHONHASHSEED into a caller's traversal.
+        return iter(sorted(self._nodes, key=repr))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
@@ -169,10 +174,11 @@ class Graph:
     def subgraph(self, keep: Iterable[Node]) -> "Graph":
         """The induced subgraph on ``keep`` (unknown nodes are ignored)."""
         keep_set = set(keep) & self._nodes
+        kept = sorted(keep_set, key=repr)
         edges = [
-            (u, v) for u in keep_set for v in self._adj[u] if v in keep_set
+            (u, v) for u in kept for v in self.sorted_neighbors(u) if v in keep_set
         ]
-        return Graph(keep_set, edges)
+        return Graph(kept, edges)
 
     def remove_nodes(self, drop: Iterable[Node]) -> "Graph":
         """``G - X``: the induced subgraph on ``V - X``."""
@@ -192,7 +198,7 @@ class Graph:
         def name(v: Node) -> Node:
             return mapping.get(v, v)
 
-        new_nodes = [name(v) for v in self._nodes]
+        new_nodes = [name(v) for v in sorted(self._nodes, key=repr)]
         if len(set(new_nodes)) != len(new_nodes):
             raise GraphError("relabeling collapses distinct nodes")
         return Graph(new_nodes, [(name(u), name(v)) for u, v in self.edges()])
@@ -227,7 +233,7 @@ class Graph:
         """True iff the graph is connected (the empty graph counts as connected)."""
         if self.n <= 1:
             return True
-        start = next(iter(self._nodes))
+        start = min(self._nodes, key=repr)
         return len(self.bfs_reachable(start)) == self.n
 
     def connected_components(self) -> list[set[Node]]:
@@ -235,7 +241,9 @@ class Graph:
         remaining = set(self._nodes)
         components: list[set[Node]] = []
         while remaining:
-            start = next(iter(remaining))
+            # min, not next(iter(...)): the component *list order* is
+            # observable by callers and must not depend on hash seed.
+            start = min(remaining, key=repr)
             comp = self.bfs_reachable(start, forbidden=self._nodes - remaining)
             components.append(comp)
             remaining -= comp
@@ -278,5 +286,6 @@ class Graph:
     @classmethod
     def from_adjacency(cls, adjacency: dict[Node, Iterable[Node]]) -> "Graph":
         """Build a graph from an adjacency mapping (symmetrized)."""
-        edges = [(u, v) for u, nbrs in adjacency.items() for v in nbrs]
-        return cls(adjacency.keys(), edges)
+        items = sorted(adjacency.items(), key=lambda kv: repr(kv[0]))
+        edges = [(u, v) for u, nbrs in items for v in nbrs]
+        return cls([u for u, _ in items], edges)

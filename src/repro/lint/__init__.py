@@ -1,0 +1,40 @@
+"""``repro lint`` — AST-based determinism & protocol-contract checker.
+
+The repo's headline guarantee is that sweep reports are byte-identical
+at any worker count.  That guarantee has been broken twice by latent
+``PYTHONHASHSEED``-dependent iteration (PR 1's ``Graph.edges()`` / flow
+network, PR 2's traversal caches), and the native asynchronous algorithm
+rests on a conventional promise that no delay bound is read anywhere.
+This package enforces those invariants mechanically:
+
+* :mod:`repro.lint.rules` — the rule catalog (REPRO001–REPRO005) and
+  registry;
+* :mod:`repro.lint.dataflow` — the shared name-resolution / shallow
+  type-inference helper the rules query;
+* :mod:`repro.lint.engine` — file walking, pragma suppression
+  (``# repro: allow[RULE]``), and baseline filtering;
+* :mod:`repro.lint.baseline` — the committed-baseline workflow;
+* :mod:`repro.lint.report` — text and JSON reporters;
+* :mod:`repro.lint.cli` — the ``python -m repro lint`` subcommand.
+
+Everything is stdlib-only (``ast``); the linter lints itself in CI.
+"""
+
+from __future__ import annotations
+
+from .baseline import load_baseline, write_baseline
+from .engine import LintResult, lint_paths, lint_source
+from .findings import Finding, LintConfig
+from .rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]

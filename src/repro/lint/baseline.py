@@ -1,0 +1,77 @@
+"""The committed-baseline workflow.
+
+A baseline is a JSON file of fingerprints for findings a past review
+accepted.  CI lints with the committed baseline, so pre-existing
+accepted findings never block a build while any *new* finding does.
+The intended loop:
+
+1. a change introduces a finding that is judged acceptable but not worth
+   an inline pragma (e.g. a large legacy surface adopted wholesale);
+2. ``python -m repro lint <paths> --write-baseline`` records it;
+3. the baseline file is committed and reviewed like any other diff;
+4. later fixes shrink it — stale entries are harmless (they simply stop
+   matching) but ``--write-baseline`` prunes them on rewrite.
+
+Fingerprints hash the rule id, the file path, and the flagged line's
+*text* (plus an occurrence index for identical lines), so entries
+survive unrelated edits that merely shift line numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from .engine import fingerprint_findings
+from .findings import Finding
+
+#: Default baseline location, resolved against the working directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints recorded at ``path`` (empty set if absent)."""
+    file = Path(path)
+    if not file.exists():
+        return set()
+    payload = json.loads(file.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} "
+            f"in {path}"
+        )
+    return {entry["fingerprint"] for entry in payload.get("findings", [])}
+
+
+def write_baseline(
+    path: str,
+    findings: Sequence[Finding],
+    lines_by_path: Dict[str, List[str]],
+) -> int:
+    """Record ``findings`` (typically ``LintResult.findings``) at ``path``.
+
+    Entries carry the human-readable location and rule next to the
+    fingerprint so baseline diffs are reviewable.  Returns the entry
+    count.
+    """
+    ordered = sorted(findings)
+    prints = fingerprint_findings(ordered, lines_by_path)
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {
+                "fingerprint": print_,
+                "rule": finding.rule,
+                "location": finding.location(),
+                "message": finding.message,
+            }
+            for finding, print_ in zip(ordered, prints)
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(payload["findings"])

@@ -1,0 +1,92 @@
+"""``python -m repro lint`` — the CLI surface of the lint subsystem.
+
+Usage::
+
+    python -m repro lint [paths...] [--format text|json]
+                         [--baseline FILE] [--write-baseline]
+                         [--show-suppressed]
+
+Paths default to ``src``.  Exit status: 0 when no active (unsuppressed,
+non-baselined) finding exists, 1 when findings remain, 2 on unreadable
+or unparseable inputs.  The baseline defaults to
+``.repro-lint-baseline.json`` in the working directory when that file
+exists; ``--write-baseline`` rewrites it from the current findings (and
+exits 0 — the findings are now accepted).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from .baseline import DEFAULT_BASELINE, load_baseline, write_baseline
+from .engine import LintConfig, lint_paths
+from .report import render_json, render_text
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="baseline file of accepted findings (default: "
+             f"{DEFAULT_BASELINE} when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept every current finding into the baseline file and "
+             "exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also list pragma-suppressed findings (text format)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).exists():
+        baseline_path = DEFAULT_BASELINE
+    baseline = set()
+    if baseline_path is not None and not args.write_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}")
+            return 2
+    result, lines_by_path = lint_paths(
+        args.paths, config=LintConfig(), baseline=baseline
+    )
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        count = write_baseline(target, result.findings, lines_by_path)
+        print(f"wrote {count} accepted finding(s) to {target}")
+        return 0 if not result.errors else 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose_suppressed=args.show_suppressed))
+    if result.errors:
+        return 2
+    return 0 if not result.findings else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="AST-based determinism & protocol-contract checker",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - convenience entry point
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""Shared lint value types: findings, configuration, module context.
+
+Kept separate from :mod:`repro.lint.rules` and :mod:`repro.lint.engine`
+so the rule classes and the engine can both import them without a cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import List, Optional, Tuple
+
+from .dataflow import ModuleModel
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint hit, addressed as ``path:line:col``.
+
+    ``hint`` is the suggested mechanical remedy; rules keep it concrete
+    (what to wrap, what pragma to add) so CI failures are actionable
+    without opening the rule catalog.
+    """
+
+    path: str  # posix-style path as given on the command line
+    line: int  # 1-based
+    col: int  # 0-based, as ast reports it
+    rule: str
+    message: str
+    hint: str = ""
+
+    def fingerprint(self, line_text: str, occurrence: int = 0) -> str:
+        """Content-addressed identity for the baseline workflow.
+
+        Hashes the rule, the file, the *text* of the flagged line, and
+        the occurrence index among identical lines — so a baseline entry
+        survives unrelated edits that only shift line numbers.
+        """
+        basis = "|".join(
+            (self.rule, self.path, line_text.strip(), str(occurrence))
+        )
+        return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable scope knobs, with repo defaults baked in.
+
+    The defaults encode this repository's contracts; tests override them
+    to point rules at fixture trees (e.g. ``trace_all=True`` treats
+    every linted file as trace-affecting for REPRO001).
+    """
+
+    #: Path components that mark a module as trace-affecting (REPRO001).
+    trace_parts: Tuple[str, ...] = ("graphs", "net", "consensus", "analysis")
+    #: Treat every module as trace-affecting (fixture corpora).
+    trace_all: bool = False
+    #: Basenames registered as unbounded-safe: no delay-bound attribute
+    #: may be read there (REPRO004).  ``async_alg.py`` and ``reliable.py``
+    #: implement arXiv:1909.02865's "no delay bound anywhere" contract.
+    unbounded_safe_basenames: Tuple[str, ...] = ("async_alg.py", "reliable.py")
+    #: Delay-bound attribute names whose *read* breaks that contract.
+    bound_attrs: Tuple[str, ...] = (
+        "worst_case_delay",
+        "max_delay",
+        "delay_bound",
+        "budget_for",
+    )
+    #: Callable names whose arguments must be picklable (REPRO003):
+    #: exact names, the ``.submit`` executor method, and — checked
+    #: separately — any ``*_factory`` / ``*Factory`` constructor.
+    sweep_sinks: Tuple[str, ...] = ("consensus_sweep", "submit")
+    #: Attribute names known repo-wide to hold unordered containers.
+    unordered_attrs: Tuple[str, ...] = ("nodes",)
+    #: Method names known repo-wide to return unordered containers.
+    unordered_methods: Tuple[str, ...] = ("neighbors", "bfs_reachable")
+
+    def is_trace_affecting(self, relpath: str) -> bool:
+        if self.trace_all:
+            return True
+        parts = PurePosixPath(relpath).parts
+        return any(part in self.trace_parts for part in parts[:-1])
+
+    def is_unbounded_safe(self, relpath: str) -> bool:
+        return PurePosixPath(relpath).name in self.unbounded_safe_basenames
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule sees about one parsed module."""
+
+    relpath: str
+    tree: ast.Module
+    lines: List[str]
+    model: ModuleModel
+    config: LintConfig
+    findings: List[Finding] = field(default_factory=list)
+
+    def emit(
+        self,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        hint: str = "",
+        line: Optional[int] = None,
+        col: Optional[int] = None,
+    ) -> None:
+        self.findings.append(
+            Finding(
+                path=self.relpath,
+                line=line if line is not None else node.lineno,
+                col=col if col is not None else node.col_offset,
+                rule=rule,
+                message=message,
+                hint=hint,
+            )
+        )

@@ -1,0 +1,59 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render the same canonical ordering the engine produces, so the
+text and JSON views of one run always describe the same findings in the
+same sequence (CI archives the JSON; humans read the text).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .engine import LintResult
+from .rules import RULES
+
+
+def render_text(result: LintResult, verbose_suppressed: bool = False) -> str:
+    """``path:line:col: RULE message (hint)`` lines plus a summary."""
+    lines: List[str] = []
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    for finding in result.findings:
+        hint = f"  [{finding.hint}]" if finding.hint else ""
+        lines.append(
+            f"{finding.location()}: {finding.rule} "
+            f"({RULES[finding.rule].title}): {finding.message}{hint}"
+        )
+    if verbose_suppressed:
+        for finding in result.suppressed:
+            lines.append(
+                f"{finding.location()}: {finding.rule} suppressed by pragma"
+            )
+    summary = (
+        f"{result.files_checked} files checked: "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined"
+    )
+    if result.counts_by_rule():
+        per_rule = ", ".join(
+            f"{rule}={count}" for rule, count in result.counts_by_rule().items()
+        )
+        summary += f" ({per_rule})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """A stable JSON document (sorted keys, canonical finding order)."""
+    payload = {
+        "files_checked": result.files_checked,
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "errors": list(result.errors),
+        "counts": result.counts_by_rule(),
+        "clean": result.clean,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

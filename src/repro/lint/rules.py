@@ -1,0 +1,436 @@
+"""The ``repro lint`` rule catalog.
+
+Every rule is grounded in a bug class this repository has actually hit
+(or contractually forbids).  Suppress a deliberate exception with an
+inline pragma on the flagged line (or anywhere in the contiguous
+comment-only block directly above it)::
+
+    for v in small_set:  # repro: allow[REPRO001] aggregation is commutative
+
+Rule reference
+==============
+
+``REPRO001`` — hash-order nondeterminism
+    Iteration over ``set`` / ``frozenset`` / ``dict`` / ``.keys()`` /
+    ``.values()`` / ``.items()`` without an enclosing ``sorted()`` (or
+    another order-insensitive consumer) in a *trace-affecting* module —
+    any module under ``src/repro/{graphs,net,consensus,analysis}``.
+    Set order is a function of ``PYTHONHASHSEED``; dict order is a
+    function of insertion history.  Both have leaked into sweep reports
+    before (PR 1's ``Graph.edges()`` / flow network, PR 2's traversal
+    caches).  Order-insensitive consumers — ``sorted``, ``sum``, ``min``,
+    ``max``, ``any``, ``all``, ``len``, ``set``/``frozenset``
+    re-aggregation, set comprehensions, membership tests — are exempt.
+    *Fix:* iterate ``sorted(..., key=repr)``; *suppress* only with a note
+    proving the order cannot reach a trace.
+
+``REPRO002`` — unseeded or wall-clock entropy
+    Module-level ``random.*`` calls (shared global RNG), unseeded
+    ``random.Random()``, ``time.time()`` / ``time.time_ns()``,
+    ``os.urandom()``, ``uuid.uuid1/uuid4()``, ``secrets.*``.  Simulation
+    results must be a pure function of explicit seeds;
+    ``time.perf_counter()`` for *measuring* elapsed time is fine and is
+    not flagged.  *Fix:* thread a ``random.Random(seed)`` instance.
+
+``REPRO003`` — unpicklable sweep payloads
+    A lambda, nested function, or locally defined class flowing into
+    ``consensus_sweep(...)``, an ``*_factory(...)`` / ``*Factory(...)``
+    constructor, or ``executor.submit(...)``.  These cannot cross the
+    ``ProcessPoolExecutor`` boundary; the sweep engine falls back to its
+    serial path (correct but silently unparallel).  *Fix:* hoist the
+    callable/class to module level.
+
+``REPRO004`` — async delay-bound contract
+    Any read of a delay-bound attribute (``worst_case_delay``,
+    ``max_delay``, ``delay_bound``, ``budget_for`` — including via
+    ``getattr`` with a literal name) from a module registered as
+    *unbounded-safe*: ``async_alg.py`` and ``reliable.py``.  The native
+    asynchronous algorithm (arXiv:1909.02865) is correct *because* no
+    delay bound is read anywhere in it; this rule turns that prose
+    promise into a CI gate.  *Fix:* don't — redesign the change so the
+    bound stays outside the protocol.
+
+``REPRO005`` — mutable default arguments
+    A ``list`` / ``dict`` / ``set`` (literal, comprehension, or
+    constructor) default in the signature of a ``Protocol`` /
+    ``Scheduler`` / ``Factory`` method or a ``*factory*`` function.
+    Defaults are evaluated once and shared across every instance a
+    factory builds — cross-instance mutable state is exactly how one
+    simulated node's history can bleed into another's.  *Fix:* default
+    to ``None`` and materialize inside the body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional
+
+from . import dataflow
+from .dataflow import ModuleModel, UNORDERED_KINDS
+from .findings import ModuleContext
+
+#: Call targets for which argument order provably cannot matter (or that
+#: impose an order themselves) — iterating an unordered container into
+#: them is safe.
+ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "sum", "min", "max", "any", "all", "len", "set", "frozenset"}
+)
+
+#: Call targets that materialize their argument's iteration order.
+ORDER_MATERIALIZING_CONSUMERS = frozenset(
+    {"list", "tuple", "enumerate", "iter", "reversed"}
+)
+
+#: ``random`` module-level functions that draw from the shared global RNG.
+GLOBAL_RNG_FUNCTIONS = frozenset(
+    {
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "betavariate", "expovariate",
+        "normalvariate", "lognormvariate", "triangular", "vonmisesvariate",
+        "paretovariate", "weibullvariate", "getrandbits", "randbytes", "seed",
+    }
+)
+
+#: Fully qualified wall-clock / OS-entropy callables.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time", "time.time_ns", "os.urandom", "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+        "secrets.randbelow", "secrets.choice", "secrets.randbits",
+    }
+)
+
+_MUTABLE_DEFAULT_CALLS = frozenset(
+    {"list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+_SIGNATURE_CLASS_MARKERS = ("Protocol", "Scheduler", "Factory")
+
+
+class Rule:
+    """One lint rule: an id, a one-line title, and a module visitor."""
+
+    id: str = ""
+    title: str = ""
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return True
+
+    def run(self, ctx: ModuleContext) -> None:
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------------------
+# REPRO001
+# ---------------------------------------------------------------------------
+
+
+class HashOrderRule(Rule):
+    """Unordered-container iteration in trace-affecting modules."""
+
+    id = "REPRO001"
+    title = "hash-order nondeterminism"
+    _hint = (
+        "iterate sorted(..., key=repr), or add "
+        "'# repro: allow[REPRO001] <why order cannot reach a trace>'"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.config.is_trace_affecting(ctx.relpath)
+
+    def run(self, ctx: ModuleContext) -> None:
+        model = ctx.model
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                self._check_iterable(ctx, node.iter, "for-loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                # SetComp is exempt: its result is itself unordered, so
+                # the source order cannot be observed through it.
+                if isinstance(node, ast.GeneratorExp) and self._consumed_safely(
+                    ctx, node
+                ):
+                    continue
+                label = {
+                    ast.ListComp: "list comprehension",
+                    ast.DictComp: "dict comprehension",
+                    ast.GeneratorExp: "generator",
+                }[type(node)]
+                for gen in node.generators:
+                    self._check_iterable(ctx, gen.iter, label)
+            elif isinstance(node, ast.Call):
+                self._check_call(ctx, node)
+
+    # -- helpers -----------------------------------------------------------
+    def _kind(self, ctx: ModuleContext, expr: ast.expr) -> Optional[str]:
+        kind = ctx.model.infer(expr, ctx.model.scope_of(expr))
+        return kind if kind in UNORDERED_KINDS else None
+
+    def _check_iterable(
+        self, ctx: ModuleContext, expr: ast.expr, where: str
+    ) -> None:
+        kind = self._kind(ctx, expr)
+        if kind is not None:
+            ctx.emit(
+                expr,
+                self.id,
+                f"{where} iterates an unordered {kind}; its order is a "
+                "function of PYTHONHASHSEED/insertion history, not of the "
+                "inputs",
+                self._hint,
+            )
+
+    def _check_call(self, ctx: ModuleContext, call: ast.Call) -> None:
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            name = "join"
+        if name is None:
+            return
+        if name in ORDER_MATERIALIZING_CONSUMERS or name == "join":
+            for arg in call.args[:1]:
+                kind = self._kind(ctx, arg)
+                if kind is not None:
+                    ctx.emit(
+                        arg,
+                        self.id,
+                        f"{name}() materializes the iteration order of an "
+                        f"unordered {kind}",
+                        self._hint,
+                    )
+
+    def _consumed_safely(self, ctx: ModuleContext, gen: ast.GeneratorExp) -> bool:
+        parent = ctx.model.parents.get(gen)
+        if isinstance(parent, ast.Call) and gen in parent.args:
+            func = parent.func
+            if isinstance(func, ast.Name):
+                return func.id in ORDER_INSENSITIVE_CONSUMERS
+        return False
+
+
+# ---------------------------------------------------------------------------
+# REPRO002
+# ---------------------------------------------------------------------------
+
+
+class EntropyRule(Rule):
+    """Unseeded randomness and wall-clock reads in simulation code."""
+
+    id = "REPRO002"
+    title = "unseeded or wall-clock entropy"
+
+    def run(self, ctx: ModuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.model.qualified_name(node.func)
+            if qual is None:
+                continue
+            if qual in WALL_CLOCK_CALLS:
+                ctx.emit(
+                    node,
+                    self.id,
+                    f"{qual}() injects wall-clock/OS entropy into "
+                    "simulation state",
+                    "derive the value from explicit inputs or a seeded "
+                    "random.Random",
+                )
+            elif qual.startswith("random.") and (
+                qual.split(".", 1)[1] in GLOBAL_RNG_FUNCTIONS
+            ):
+                ctx.emit(
+                    node,
+                    self.id,
+                    f"{qual}() draws from the shared global RNG; results "
+                    "depend on call interleaving across the whole process",
+                    "thread a random.Random(seed) instance instead",
+                )
+            elif qual == "random.Random" and not node.args and not node.keywords:
+                ctx.emit(
+                    node,
+                    self.id,
+                    "random.Random() with no seed is OS-entropy seeded",
+                    "pass an explicit, reproducible seed",
+                )
+            elif qual.startswith("numpy.random.") and not qual.endswith(
+                "default_rng"
+            ):
+                ctx.emit(
+                    node,
+                    self.id,
+                    f"{qual}() draws from numpy's shared global RNG",
+                    "use numpy.random.default_rng(seed)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REPRO003
+# ---------------------------------------------------------------------------
+
+
+class PicklabilityRule(Rule):
+    """Unpicklable payloads flowing into process-pool boundaries."""
+
+    id = "REPRO003"
+    title = "unpicklable sweep payloads"
+    _labels = {
+        dataflow.LAMBDA: "a lambda",
+        dataflow.LOCAL_DEF: "a nested function",
+        dataflow.LOCAL_CLASS: "a locally defined class",
+    }
+
+    def run(self, ctx: ModuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            sink = self._sink_name(node.func)
+            if sink is None:
+                continue
+            scope = ctx.model.scope_of(node)
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                kind = ctx.model.local_definition_kind(value, scope)
+                if kind is not None:
+                    ctx.emit(
+                        value,
+                        self.id,
+                        f"{self._labels[kind]} flows into {sink}(); it "
+                        "cannot be pickled to sweep worker processes",
+                        "hoist the callable/class to module level",
+                    )
+
+    def _sink_name(self, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return None
+        if name in ("consensus_sweep", "submit"):
+            return name
+        if name.endswith("_factory") or name.endswith("Factory"):
+            return name
+        return None
+
+
+# ---------------------------------------------------------------------------
+# REPRO004
+# ---------------------------------------------------------------------------
+
+
+class DelayBoundContractRule(Rule):
+    """No delay-bound reads inside unbounded-safe modules."""
+
+    id = "REPRO004"
+    title = "async delay-bound contract"
+    _hint = (
+        "this module is registered unbounded-safe (arXiv:1909.02865: no "
+        "delay bound anywhere); keep the bound outside the protocol"
+    )
+
+    def applies(self, ctx: ModuleContext) -> bool:
+        return ctx.config.is_unbounded_safe(ctx.relpath)
+
+    def run(self, ctx: ModuleContext) -> None:
+        bound = frozenset(ctx.config.bound_attrs)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr in bound:
+                ctx.emit(
+                    node,
+                    self.id,
+                    f"read of delay-bound attribute '{node.attr}' in an "
+                    "unbounded-safe module",
+                    self._hint,
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "getattr"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and node.args[1].value in bound
+            ):
+                ctx.emit(
+                    node,
+                    self.id,
+                    f"getattr read of delay-bound attribute "
+                    f"'{node.args[1].value}' in an unbounded-safe module",
+                    self._hint,
+                )
+
+
+# ---------------------------------------------------------------------------
+# REPRO005
+# ---------------------------------------------------------------------------
+
+
+class MutableDefaultRule(Rule):
+    """Mutable defaults in Protocol / Scheduler / factory signatures."""
+
+    id = "REPRO005"
+    title = "mutable default arguments"
+
+    def run(self, ctx: ModuleContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not self._in_scope(ctx.model, node):
+                continue
+            for default in self._defaults(node.args):
+                if self._is_mutable(default):
+                    ctx.emit(
+                        default,
+                        self.id,
+                        f"mutable default in '{node.name}' signature is "
+                        "evaluated once and shared across every call",
+                        "default to None and materialize inside the body",
+                    )
+
+    def _in_scope(self, model: ModuleModel, func: ast.AST) -> bool:
+        if "factory" in func.name.lower():
+            return True
+        cls = model.enclosing_class(func)
+        if cls is None:
+            return False
+        names = [cls.name] + [
+            dataflow.dotted_name(base) or "" for base in cls.bases
+        ]
+        return any(
+            marker in name for marker in _SIGNATURE_CLASS_MARKERS for name in names
+        )
+
+    def _defaults(self, args: ast.arguments) -> Iterable[ast.expr]:
+        yield from args.defaults
+        yield from (d for d in args.kw_defaults if d is not None)
+
+    def _is_mutable(self, expr: ast.expr) -> bool:
+        if isinstance(
+            expr, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                   ast.SetComp),
+        ):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return expr.func.id in _MUTABLE_DEFAULT_CALLS
+        return False
+
+
+#: The registry, in catalog order.  ``engine.lint_source`` consults this;
+#: adding a rule class here is all a new check needs.
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        HashOrderRule(),
+        EntropyRule(),
+        PicklabilityRule(),
+        DelayBoundContractRule(),
+        MutableDefaultRule(),
+    )
+}
+
+
+def rule_catalog() -> List[Dict[str, str]]:
+    """``[{id, title}, ...]`` in catalog order (for reporters and docs)."""
+    return [{"id": r.id, "title": r.title} for r in RULES.values()]

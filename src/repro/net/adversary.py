@@ -409,7 +409,7 @@ class ReplayAdversary(Adversary):
     ) -> "ReplayAdversary":
         """Build schedules straight from recorded trace transmissions."""
         schedules: Dict[Hashable, Dict[int, List[Tuple[object, Optional[Hashable]]]]] = {}
-        for node, txs in per_node.items():
+        for node, txs in sorted(per_node.items(), key=lambda kv: repr(kv[0])):
             per_round: Dict[int, List[Tuple[object, Optional[Hashable]]]] = {}
             for t in txs:
                 target = retarget(t) if retarget else t.target

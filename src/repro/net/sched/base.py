@@ -110,7 +110,11 @@ class Scheduler(ABC):
             times[recipient] = when
         if self.atomic_broadcast and send.is_broadcast and times:
             shared = max(times.values())
+            # repro: allow[REPRO001] rebuilds `times` preserving its own
+            # deterministic (repr-sorted recipient) insertion order.
             times = {recipient: shared for recipient in times}
+        # repro: allow[REPRO001] per-key _link_clock writes — commutative
+        # across recipients, so iteration order is immaterial.
         for recipient, when in times.items():
             self._link_clock[(send.sender, recipient)] = when
         return times
@@ -147,7 +151,7 @@ class EventDrivenNetwork(NetworkEngine):
         scheduler.bind(graph, self.channel)
         # round_no doubles as the virtual tick of the latest activation.
         self._events: List[Tuple[int, int, DeliveryEvent]] = []
-        self._arrived: Dict[Hashable, Inbox] = {v: [] for v in graph.nodes}
+        self._arrived: Dict[Hashable, Inbox] = {v: [] for v in self._order}
         self._send_seq = 0
         self._event_seq = 0
 
@@ -161,7 +165,7 @@ class EventDrivenNetwork(NetworkEngine):
         while self._events and self._events[0][0] <= now:
             _, _, event = heapq.heappop(self._events)
             self._arrived[event.recipient].append((event.sender, event.message))
-        inboxes, self._arrived = self._arrived, {v: [] for v in self.graph.nodes}
+        inboxes, self._arrived = self._arrived, {v: [] for v in self._order}
         outboxes: list[tuple[Hashable, Context]] = []
         for node in self._order:
             ctx = Context(

@@ -126,7 +126,7 @@ class NetworkEngine:
     # ------------------------------------------------------------------
     def outputs(self) -> Dict[Hashable, Optional[int]]:
         """Each node's current output (``None`` while undecided)."""
-        return {v: p.output() for v, p in self.protocols.items()}
+        return {v: self.protocols[v].output() for v in self._order}
 
 
 class SynchronousNetwork(NetworkEngine):
@@ -139,7 +139,7 @@ class SynchronousNetwork(NetworkEngine):
         channel: Optional[ChannelModel] = None,
     ):
         super().__init__(graph, protocols, channel)
-        self._pending: Dict[Hashable, Inbox] = {v: [] for v in graph.nodes}
+        self._pending: Dict[Hashable, Inbox] = {v: [] for v in self._order}
 
     @property
     def in_flight(self) -> int:
@@ -155,7 +155,7 @@ class SynchronousNetwork(NetworkEngine):
     def step(self) -> None:
         """Execute one synchronous round."""
         self.round_no += 1
-        inboxes, self._pending = self._pending, {v: [] for v in self.graph.nodes}
+        inboxes, self._pending = self._pending, {v: [] for v in self._order}
         outboxes: list[tuple[Hashable, Context]] = []
         for node in self._order:
             ctx = Context(

@@ -135,13 +135,44 @@ class TestSharing:
         with pytest.raises(ValueError):
             Algorithm1Protocol(cycle_graph(4), 0, 1, 0, oracle=oracle)
 
-    def test_pickled_factory_rebuilds_cold_oracle(self):
+    def test_pickled_factory_ships_warm_oracle(self):
+        """The factory's oracle crosses the process boundary with its
+        structural memos (pruned graphs, BFS trees) intact; the
+        per-query caches and counters start fresh in the worker."""
         graph = cycle_graph(5)
         factory = algorithm1_factory(graph, 1)
         factory.oracle.path_excluding(0, 2, frozenset({4}))
+        before = factory.oracle.cache_info()
+        assert before["pruned_graphs"] == 1 and before["bfs_trees"] == 1
         clone = pickle.loads(pickle.dumps(factory))
         assert clone.graph == graph
-        assert clone.oracle.cache_info()["paths"] == 0
+        info = clone.oracle.cache_info()
+        assert info["pruned_graphs"] == 1
+        assert info["bfs_trees"] == 1
+        # Per-query result caches and counters are per-process state.
+        assert info["paths"] == 0
+        assert info["hits"] == 0 and info["misses"] == 0
+
+    def test_unpickled_oracle_reuses_warm_memos(self):
+        """Cache-hit assertion for the warm reduce path: a repeated
+        query in the 'worker' reuses the shipped pruned graph and BFS
+        tree instead of recomputing them."""
+        graph = petersen_graph()
+        oracle = PathOracle(graph)
+        excluded = frozenset({3})
+        warm_path = oracle.path_excluding(0, 2, excluded)
+        clone = pickle.loads(pickle.dumps(oracle))
+        assert clone.cache_info()["pruned_graphs"] == 1
+        assert clone.cache_info()["bfs_trees"] == 1
+        # The same query against the clone answers identically without
+        # growing the structural memos — they were reused, not rebuilt.
+        assert clone.path_excluding(0, 2, excluded) == warm_path
+        assert clone.cache_info()["pruned_graphs"] == 1
+        assert clone.cache_info()["bfs_trees"] == 1
+        # A same-phase query for a different origin rides the shipped
+        # BFS tree: no new tree is built either.
+        clone.path_excluding(1, 2, excluded)
+        assert clone.cache_info()["bfs_trees"] == 1
 
     def test_shared_oracle_run_matches_fresh_oracles(self):
         """A full consensus run behaves identically whether instances

@@ -1,0 +1,53 @@
+"""REPRO001 false-positive corpus: nothing here may be flagged."""
+
+CONFIG = {"a": 1, "b": 2}
+
+
+def sorted_iteration(graph):
+    marked = {1, 2, 3}
+    for v in sorted(marked, key=repr):
+        print(v)
+    for k, v in sorted(CONFIG.items(), key=lambda kv: repr(kv[0])):
+        print(k, v)
+    for nbr in sorted(graph.neighbors(0), key=repr):
+        print(nbr)
+
+
+def order_insensitive_consumers(frontier: set):
+    total = sum(x for x in frontier)
+    low, high = min(frontier), max(frontier)
+    truthy = any(x > 0 for x in frontier)
+    size = len(frontier)
+    copy = set(frontier)
+    frozen = frozenset(frontier)
+    return total, low, high, truthy, size, copy, frozen
+
+
+def set_results(frontier: set):
+    # A set comprehension's result is itself unordered: source order
+    # cannot be observed through it.
+    doubled = {x * 2 for x in frontier}
+    return doubled
+
+
+def membership(frontier: set):
+    return 3 in frontier
+
+
+def ordered_sources(items: list):
+    for x in items:
+        print(x)
+    for i, x in enumerate(items):
+        print(i, x)
+
+
+def pragma_on_line(frontier: set):
+    for x in frontier:  # repro: allow[REPRO001] aggregation is commutative
+        print(x)
+
+
+def pragma_block_above(frontier: set):
+    # repro: allow[REPRO001] the accumulation below is a commutative
+    # set union, so visiting order cannot affect the result.
+    for x in frontier:
+        print(x)

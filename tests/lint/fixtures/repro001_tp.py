@@ -1,0 +1,39 @@
+"""REPRO001 true positives: every `# EXPECT` line must be flagged."""
+
+CONFIG = {"a": 1, "b": 2}
+
+
+def loops(graph):
+    marked = {1, 2, 3}
+    for v in marked:  # EXPECT
+        print(v)
+    for k in CONFIG:  # EXPECT
+        print(k)
+    for k, v in CONFIG.items():  # EXPECT
+        print(k, v)
+    for v in CONFIG.values():  # EXPECT
+        print(v)
+    for k in CONFIG.keys():  # EXPECT
+        print(k)
+
+
+def comprehensions(frontier: set):
+    squares = [x * x for x in frontier]  # EXPECT
+    table = {x: x for x in frontier}  # EXPECT
+    return squares, table
+
+
+def materializers(raw):
+    reached = frozenset(raw)
+    as_list = list(reached)  # EXPECT
+    as_tuple = tuple(reached)  # EXPECT
+    joined = ",".join({"a", "b"})  # EXPECT
+    numbered = enumerate(reached)  # EXPECT
+    return as_list, as_tuple, joined, numbered
+
+
+def through_methods(graph):
+    for nbr in graph.neighbors(0):  # EXPECT
+        print(nbr)
+    for node in graph.nodes:  # EXPECT
+        print(node)

@@ -1,0 +1,23 @@
+"""REPRO002 false-positive corpus: nothing here may be flagged."""
+
+import random
+import time
+
+
+def measured_benchmark(fn):
+    # Measuring elapsed time is fine — perf_counter never feeds
+    # simulation state, only reporting.
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def seeded_rng(seed: int):
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(4)]
+
+
+def threaded_rng(rng: random.Random):
+    # Drawing from an explicitly threaded instance is the sanctioned
+    # pattern; only the shared module-level RNG is forbidden.
+    return rng.randint(0, 1)

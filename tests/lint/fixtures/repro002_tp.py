@@ -1,0 +1,34 @@
+"""REPRO002 true positives: every `# EXPECT` line must be flagged."""
+
+import os
+import random
+import secrets
+import time
+import uuid
+
+
+def wall_clock_stamp():
+    started = time.time()  # EXPECT
+    nanos = time.time_ns()  # EXPECT
+    return started, nanos
+
+
+def os_entropy():
+    blob = os.urandom(16)  # EXPECT
+    run_id = uuid.uuid4()  # EXPECT
+    node_id = uuid.uuid1()  # EXPECT
+    token = secrets.token_hex(8)  # EXPECT
+    return blob, run_id, node_id, token
+
+
+def global_rng(population):
+    coin = random.random()  # EXPECT
+    pick = random.choice(population)  # EXPECT
+    random.shuffle(population)  # EXPECT
+    random.seed(0)  # EXPECT
+    return coin, pick
+
+
+def unseeded_instance():
+    rng = random.Random()  # EXPECT
+    return rng

@@ -1,0 +1,20 @@
+"""REPRO003 false-positive corpus: nothing here may be flagged."""
+
+
+def module_level_build(node, value):
+    return (node, value)
+
+
+class ModuleLevelProtocol:
+    pass
+
+
+def sweep_with_module_payloads(consensus_sweep, executor, graph):
+    consensus_sweep(graph, module_level_build)
+    consensus_sweep(graph, factory=ModuleLevelProtocol)
+    executor.submit(module_level_build, graph)
+
+
+def ordinary_calls(graph):
+    # Lambdas into non-sink callables never cross a process boundary.
+    return sorted(graph, key=lambda v: repr(v))

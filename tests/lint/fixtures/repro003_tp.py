@@ -1,0 +1,22 @@
+"""REPRO003 true positives: every `# EXPECT` line must be flagged."""
+
+
+def sweep_with_local_payloads(consensus_sweep, executor, graph):
+    def build(node, value):
+        return (node, value)
+
+    class LocalProtocol:
+        pass
+
+    consensus_sweep(graph, lambda node, value: None)  # EXPECT
+    consensus_sweep(graph, build)  # EXPECT
+    consensus_sweep(graph, factory=build)  # EXPECT
+    executor.submit(build, graph)  # EXPECT
+    return LocalProtocol
+
+
+def factory_with_local_class(protocol_factory, graph):
+    class LocalBehavior:
+        pass
+
+    return protocol_factory(graph, LocalBehavior)  # EXPECT

@@ -1,0 +1,15 @@
+"""REPRO004 true positives: a fixture named like the unbounded-safe
+module.  Every `# EXPECT` line must be flagged."""
+
+
+class FixtureAsyncProtocol:
+    def on_message(self, scheduler, sender, message):
+        budget = scheduler.worst_case_delay  # EXPECT
+        cap = self.max_delay  # EXPECT
+        bound = getattr(scheduler, "delay_bound")  # EXPECT
+        probe = getattr(scheduler, "budget_for", None)  # EXPECT
+        return budget, cap, bound, probe
+
+    def harmless(self, scheduler):
+        # Reading unrelated attributes is fine.
+        return scheduler.name

@@ -1,0 +1,14 @@
+"""REPRO004 false-positive corpus: this module is *not* registered
+unbounded-safe, so delay-bound reads are legitimate here (schedulers
+and synchronizers are exactly where the bound belongs)."""
+
+
+class FixtureScheduler:
+    def __init__(self, worst_case_delay: int = 1):
+        self.worst_case_delay = worst_case_delay
+
+    def deadline(self, now: int) -> int:
+        return now + self.worst_case_delay
+
+    def probed(self) -> int:
+        return getattr(self, "max_delay", 0)

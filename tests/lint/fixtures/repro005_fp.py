@@ -1,0 +1,19 @@
+"""REPRO005 false-positive corpus: nothing here may be flagged."""
+
+
+class FixtureProtocol:
+    def __init__(self, history=None):
+        self.history = list(history or [])
+
+    def window(self, size=4, label="run"):
+        return size, label
+
+
+def protocol_factory(graph, defaults=None):
+    return graph, dict(defaults or {})
+
+
+def plain_helper(values=[]):
+    # Outside Protocol/Scheduler/Factory signatures and not a factory
+    # function: deliberately out of this rule's scope.
+    return values

@@ -1,0 +1,26 @@
+"""REPRO005 true positives: every `# EXPECT` line must be flagged."""
+
+
+class FixtureProtocol:
+    def __init__(self, history=[]):  # EXPECT
+        self.history = history
+
+    def configure(self, options={}):  # EXPECT
+        return options
+
+    def mark(self, *, seen=set()):  # EXPECT
+        return seen
+
+
+class FixtureScheduler:
+    def __init__(self, queue=list()):  # EXPECT
+        self.queue = queue
+
+
+class BehaviorFactory:
+    def build(self, overrides=dict()):  # EXPECT
+        return overrides
+
+
+def protocol_factory(graph, defaults={"f": 1}):  # EXPECT
+    return graph, defaults

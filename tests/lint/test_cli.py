@@ -1,0 +1,132 @@
+"""The ``python -m repro lint`` surface: exit codes, formats, and the
+acceptance-criteria sandbox checks (shipped tree exits 0; injecting a
+delay-bound read into a copy of async_alg.py trips REPRO004)."""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def run_module(*args, cwd=REPO_ROOT):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+class TestShippedTree:
+    def test_src_exits_zero(self):
+        proc = run_module("src")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_full_surface_exits_zero(self):
+        proc = run_module("src", "benchmarks", "examples")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_json_format_is_machine_readable(self):
+        proc = run_module("src", "--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is True
+        assert payload["findings"] == []
+        assert payload["files_checked"] > 0
+
+    def test_linter_is_self_hosting(self):
+        """The linter lints itself and stays clean."""
+        proc = run_module("src/repro/lint")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestExitCodes:
+    def test_findings_exit_one(self, tmp_path, capsys):
+        # The config scopes REPRO001 by path parts — 'net' marks this
+        # sandbox module as trace-affecting.
+        mod = tmp_path / "net" / "mod.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("for v in {1, 2}:\n    print(v)\n", encoding="utf-8")
+        code = main([str(mod)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REPRO001" in out
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        mod = tmp_path / "clean.py"
+        mod.write_text("x = sorted({1, 2})\n", encoding="utf-8")
+        assert main([str(mod)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_unparseable_exits_two(self, tmp_path, capsys):
+        mod = tmp_path / "bad.py"
+        mod.write_text("def broken(:\n", encoding="utf-8")
+        assert main([str(mod)]) == 2
+        assert "syntax error" in capsys.readouterr().out
+
+
+class TestBaselineCli:
+    def test_write_then_gate(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        mod = tmp_path / "net"
+        mod.mkdir()
+        target = mod / "mod.py"
+        target.write_text("for v in {1, 2}:\n    print(v)\n", encoding="utf-8")
+        assert main(["net"]) == 1
+        capsys.readouterr()
+        assert main(["net", "--write-baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 1 accepted finding(s)" in out
+        # The default baseline in cwd now gates the same finding out.
+        assert main(["net"]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+
+class TestRepro004Sandbox:
+    def test_delay_bound_read_in_async_alg_copy_fails(self, tmp_path, capsys):
+        """Acceptance criterion: copy the real async_alg.py, inject a
+        worst_case_delay read, and the linter must fail on the copy at
+        the injected line."""
+        original = SRC / "repro" / "consensus" / "async_alg.py"
+        sandbox = tmp_path / "async_alg.py"
+        shutil.copy(original, sandbox)
+
+        source = sandbox.read_text(encoding="utf-8")
+        injected = (
+            "def _read_bound(scheduler):\n"
+            "    return scheduler.worst_case_delay\n"
+        )
+        sandbox.write_text(source + "\n\n" + injected, encoding="utf-8")
+        injected_line = (
+            sandbox.read_text(encoding="utf-8")
+            .splitlines()
+            .index("    return scheduler.worst_case_delay")
+            + 1
+        )
+
+        code = main([str(sandbox)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REPRO004" in out
+        assert f"async_alg.py:{injected_line}:" in out
+
+    def test_pristine_copy_stays_clean(self, tmp_path, capsys):
+        original = SRC / "repro" / "consensus" / "async_alg.py"
+        sandbox = tmp_path / "async_alg.py"
+        shutil.copy(original, sandbox)
+        assert main([str(sandbox)]) == 0
+
+
+def test_main_module_exposes_lint():
+    proc = run_module("--help")
+    assert proc.returncode == 0
+    assert "--write-baseline" in proc.stdout

@@ -1,0 +1,182 @@
+"""Engine mechanics: pragmas, baselines, fingerprints, file walking."""
+
+import json
+from pathlib import Path
+
+from repro.lint import (
+    LintConfig,
+    lint_paths,
+    lint_source,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import fingerprint_findings, iter_python_files
+from repro.lint.report import render_json, render_text
+
+TRACE_ALL = LintConfig(trace_all=True)
+
+FLAGGED = "for v in {1, 2, 3}:\n    print(v)\n"
+
+
+class TestPragmas:
+    def test_pragma_on_flagged_line(self):
+        source = (
+            "for v in {1, 2}:  # repro: allow[REPRO001] commutative\n"
+            "    print(v)\n"
+        )
+        active, suppressed = lint_source(source, "m.py", TRACE_ALL)
+        assert active == []
+        assert [f.rule for f in suppressed] == ["REPRO001"]
+
+    def test_pragma_on_comment_line_above(self):
+        source = (
+            "# repro: allow[REPRO001] commutative\n"
+            "for v in {1, 2}:\n"
+            "    print(v)\n"
+        )
+        active, suppressed = lint_source(source, "m.py", TRACE_ALL)
+        assert active == []
+        assert len(suppressed) == 1
+
+    def test_pragma_anywhere_in_contiguous_comment_block(self):
+        source = (
+            "# repro: allow[REPRO001] the union below is commutative,\n"
+            "# so visiting order cannot affect the result.\n"
+            "for v in {1, 2}:\n"
+            "    print(v)\n"
+        )
+        active, suppressed = lint_source(source, "m.py", TRACE_ALL)
+        assert active == []
+        assert len(suppressed) == 1
+
+    def test_comment_block_must_be_contiguous(self):
+        source = (
+            "# repro: allow[REPRO001] too far away\n"
+            "x = 1\n"
+            "for v in {1, 2}:\n"
+            "    print(v)\n"
+        )
+        active, _ = lint_source(source, "m.py", TRACE_ALL)
+        assert [f.rule for f in active] == ["REPRO001"]
+
+    def test_pragma_lists_multiple_rules(self):
+        source = (
+            "import time\n"
+            "def f(s: set):\n"
+            "    # repro: allow[REPRO001, REPRO002] fixture\n"
+            "    return [time.time() for v in s]\n"
+        )
+        active, suppressed = lint_source(source, "m.py", TRACE_ALL)
+        assert active == []
+        assert {f.rule for f in suppressed} == {"REPRO001", "REPRO002"}
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = (
+            "for v in {1, 2}:  # repro: allow[REPRO002] wrong rule\n"
+            "    print(v)\n"
+        )
+        active, _ = lint_source(source, "m.py", TRACE_ALL)
+        assert [f.rule for f in active] == ["REPRO001"]
+
+
+class TestFingerprints:
+    def test_stable_under_line_shifts(self):
+        shifted = "\n\n# a new leading comment\n" + FLAGGED
+        a_active, _ = lint_source(FLAGGED, "m.py", TRACE_ALL)
+        b_active, _ = lint_source(shifted, "m.py", TRACE_ALL)
+        a_prints = fingerprint_findings(
+            a_active, {"m.py": FLAGGED.splitlines()}
+        )
+        b_prints = fingerprint_findings(
+            b_active, {"m.py": shifted.splitlines()}
+        )
+        assert a_prints == b_prints
+        assert a_active[0].line != b_active[0].line
+
+    def test_identical_lines_disambiguated_by_occurrence(self):
+        source = FLAGGED + FLAGGED
+        active, _ = lint_source(source, "m.py", TRACE_ALL)
+        prints = fingerprint_findings(active, {"m.py": source.splitlines()})
+        assert len(prints) == 2
+        assert prints[0] != prints[1]
+
+
+class TestBaseline:
+    def test_round_trip_accepts_findings(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(FLAGGED, encoding="utf-8")
+        result, lines = lint_paths([str(mod)], config=TRACE_ALL)
+        assert len(result.findings) == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        count = write_baseline(baseline_file, result.findings, lines)
+        assert count == 1
+
+        accepted = load_baseline(baseline_file)
+        again, _ = lint_paths(
+            [str(mod)], config=TRACE_ALL, baseline=accepted
+        )
+        assert again.findings == []
+        assert len(again.baselined) == 1
+        assert again.clean
+
+    def test_new_regression_escapes_the_baseline(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(FLAGGED, encoding="utf-8")
+        result, lines = lint_paths([str(mod)], config=TRACE_ALL)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, result.findings, lines)
+
+        mod.write_text(FLAGGED + "for k in {'a': 1}:\n    print(k)\n",
+                       encoding="utf-8")
+        again, _ = lint_paths(
+            [str(mod)], config=TRACE_ALL, baseline=load_baseline(baseline_file)
+        )
+        assert len(again.baselined) == 1
+        assert len(again.findings) == 1  # only the new regression
+
+    def test_baseline_file_is_versioned_json(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(FLAGGED, encoding="utf-8")
+        result, lines = lint_paths([str(mod)], config=TRACE_ALL)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, result.findings, lines)
+        payload = json.loads(baseline_file.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert len(payload["findings"]) == 1
+        entry = payload["findings"][0]
+        assert set(entry) >= {"fingerprint", "rule", "location"}
+
+
+class TestWalkAndReport:
+    def test_iter_python_files_sorted_and_deduped(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n", encoding="utf-8")
+        (tmp_path / "notes.txt").write_text("skip me", encoding="utf-8")
+        files = list(
+            iter_python_files([str(tmp_path), str(tmp_path / "a.py")])
+        )
+        assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        result, _ = lint_paths([str(bad)], config=TRACE_ALL)
+        assert result.findings == []
+        assert len(result.errors) == 1
+        assert not result.clean
+
+    def test_reports_are_deterministic(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(FLAGGED, encoding="utf-8")
+        result, _ = lint_paths([str(mod)], config=TRACE_ALL)
+        assert render_json(result) == render_json(result)
+        text = render_text(result)
+        assert "REPRO001" in text
+        payload = json.loads(render_json(result))
+        assert payload["counts"] == {"REPRO001": 1}
+        assert payload["findings"][0]["rule"] == "REPRO001"
+        assert payload["clean"] is False

@@ -1,0 +1,124 @@
+"""Every lint rule against its fixture corpus.
+
+True-positive fixtures mark each line the rule must flag with a
+trailing ``# EXPECT`` comment; the tests assert the flagged line set
+matches the marker set exactly (correct file *and* line, no extras).
+False-positive fixtures must produce zero active findings.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+from repro.lint.rules import RULES, rule_catalog
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Fixture linting treats every module as trace-affecting so REPRO001
+#: applies outside the src/repro tree.
+FIXTURE_CONFIG = LintConfig(trace_all=True)
+
+
+def expected_lines(source: str) -> set:
+    return {
+        i
+        for i, line in enumerate(source.splitlines(), start=1)
+        if line.rstrip().endswith("# EXPECT")
+    }
+
+
+def lint_fixture(name: str):
+    path = FIXTURES / name
+    source = path.read_text(encoding="utf-8")
+    active, suppressed = lint_source(source, path.as_posix(), FIXTURE_CONFIG)
+    return source, active, suppressed
+
+
+TRUE_POSITIVE_FIXTURES = [
+    ("REPRO001", "repro001_tp.py"),
+    ("REPRO002", "repro002_tp.py"),
+    ("REPRO003", "repro003_tp.py"),
+    ("REPRO004", "repro004/async_alg.py"),
+    ("REPRO005", "repro005_tp.py"),
+]
+
+FALSE_POSITIVE_FIXTURES = [
+    "repro001_fp.py",
+    "repro002_fp.py",
+    "repro003_fp.py",
+    "repro004_fp.py",
+    "repro005_fp.py",
+]
+
+
+class TestTruePositives:
+    @pytest.mark.parametrize(
+        "rule_id,fixture", TRUE_POSITIVE_FIXTURES, ids=[r for r, _ in TRUE_POSITIVE_FIXTURES]
+    )
+    def test_every_marked_line_is_flagged(self, rule_id, fixture):
+        source, active, _ = lint_fixture(fixture)
+        marked = expected_lines(source)
+        assert marked, f"fixture {fixture} has no # EXPECT markers"
+        flagged = {f.line for f in active if f.rule == rule_id}
+        assert flagged == marked
+        # The fixture exercises exactly one rule: nothing else fires.
+        assert {f.rule for f in active} == {rule_id}
+
+    @pytest.mark.parametrize(
+        "rule_id,fixture", TRUE_POSITIVE_FIXTURES, ids=[r for r, _ in TRUE_POSITIVE_FIXTURES]
+    )
+    def test_findings_carry_path_and_hint(self, rule_id, fixture):
+        _, active, _ = lint_fixture(fixture)
+        for finding in active:
+            assert finding.path.endswith(fixture)
+            assert finding.message
+            assert finding.location().startswith(finding.path)
+
+
+class TestFalsePositives:
+    @pytest.mark.parametrize("fixture", FALSE_POSITIVE_FIXTURES)
+    def test_zero_active_findings(self, fixture):
+        _, active, _ = lint_fixture(fixture)
+        assert active == []
+
+
+class TestPragmaFixtures:
+    def test_fp_corpus_suppressions_are_counted(self):
+        """The REPRO001 FP corpus ends with two deliberately pragma'd
+        loops — they must surface as suppressed, not vanish."""
+        _, active, suppressed = lint_fixture("repro001_fp.py")
+        assert active == []
+        assert len(suppressed) == 2
+        assert {f.rule for f in suppressed} == {"REPRO001"}
+
+
+class TestScoping:
+    def test_repro001_silent_outside_trace_modules(self):
+        source = "for v in {1, 2, 3}:\n    print(v)\n"
+        active, _ = lint_source(source, "tools/helper.py", LintConfig())
+        assert active == []
+        active, _ = lint_source(
+            source, "src/repro/graphs/helper.py", LintConfig()
+        )
+        assert [f.rule for f in active] == ["REPRO001"]
+
+    def test_repro004_scoped_by_basename(self):
+        """The contract follows the module name, not its directory —
+        that is what lets the sandbox test lint a *copy* of
+        async_alg.py."""
+        source = "def f(s):\n    return s.worst_case_delay\n"
+        active, _ = lint_source(source, "anywhere/async_alg.py", LintConfig())
+        assert [f.rule for f in active] == ["REPRO004"]
+        active, _ = lint_source(source, "anywhere/scheduler.py", LintConfig())
+        assert active == []
+
+
+class TestRegistry:
+    def test_catalog_order_and_ids(self):
+        assert [r["id"] for r in rule_catalog()] == [
+            "REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005",
+        ]
+        assert list(RULES) == [r["id"] for r in rule_catalog()]
+        for rule in RULES.values():
+            assert rule.title
