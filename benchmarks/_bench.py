@@ -1,0 +1,24 @@
+"""BENCH record emission shared by the benchmark harness.
+
+A converted benchmark assembles a :func:`repro.obs.bench_record` and
+hands it to :func:`emit_bench`, which writes ``BENCH_<name>.json`` at
+the repository root — the committed perf trajectory future PRs diff
+against.  Everything outside the record's ``timings`` section is
+deterministic content and must regenerate byte-identically
+(:func:`repro.obs.strip_timings` removes the quarantined rest).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import write_bench
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def emit_bench(record: dict) -> Path:
+    """Write ``BENCH_<record['bench']>.json`` at the repo root."""
+    path = write_bench(record, REPO_ROOT)
+    print(f"\n[bench] wrote {path}")
+    return path

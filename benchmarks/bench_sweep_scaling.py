@@ -19,11 +19,13 @@ import os
 import time
 from itertools import combinations
 
+from _bench import emit_bench
 from _tables import print_table
 from repro.analysis import consensus_sweep
 from repro.consensus import PathOracle, algorithm1_factory
 from repro.graphs import cycle_graph, harary_graph, petersen_graph
 from repro.graphs.connectivity import _build_split_network
+from repro.obs import bench_record, check, strip_timings
 
 CPUS = os.cpu_count() or 1
 
@@ -31,6 +33,8 @@ CPUS = os.cpu_count() or 1
 # ---------------------------------------------------------------------------
 # 1. Parallel sweep fan-out
 # ---------------------------------------------------------------------------
+
+WORKER_COUNTS = (1, 2, 4)
 
 
 def sweep_once(workers: int):
@@ -43,16 +47,21 @@ def sweep_once(workers: int):
         patterns=["alternating", "split"],
         seed=11,
         workers=workers,
+        metrics=True,
     )
     return report, time.perf_counter() - start
 
 
 def sweep_scaling_rows():
     rows = []
+    reports = {}
+    walls = {}
     baseline_report, baseline_time = sweep_once(workers=1)
+    reports[1], walls[1] = baseline_report, baseline_time
     rows.append((1, baseline_report.runs, f"{baseline_time:.2f}s", "1.00x", True))
-    for workers in (2, 4):
+    for workers in WORKER_COUNTS[1:]:
         report, elapsed = sweep_once(workers)
+        reports[workers], walls[workers] = report, elapsed
         rows.append((
             workers,
             report.runs,
@@ -60,18 +69,65 @@ def sweep_scaling_rows():
             f"{baseline_time / elapsed:.2f}x",
             report.records == baseline_report.records,
         ))
-    return rows
+    return rows, reports, walls
 
 
 def test_parallel_sweep_identical_and_scales(benchmark):
-    rows = benchmark.pedantic(sweep_scaling_rows, rounds=1, iterations=1)
+    rows, reports, walls = benchmark.pedantic(
+        sweep_scaling_rows, rounds=1, iterations=1
+    )
     print_table(
         f"consensus_sweep fan-out on C5, f=1 ({CPUS} CPUs visible)",
         ["workers", "runs", "wall", "speedup", "identical report"],
         rows,
     )
+    baseline = reports[1]
+    # The whole canonical payload — records, outcomes, merged metrics —
+    # must be byte-identical at every fan-out once timings are stripped.
+    canonical = strip_timings(baseline.to_dict())
+    checks = [
+        check(
+            f"records_identical_w{w}",
+            True,
+            reports[w].records == baseline.records,
+        )
+        for w in WORKER_COUNTS
+    ] + [
+        check(
+            f"report_identical_w{w}",
+            True,
+            strip_timings(reports[w].to_dict()) == canonical,
+        )
+        for w in WORKER_COUNTS
+    ]
+    emit_bench(bench_record(
+        "sweep_scaling",
+        spec={
+            "graph": "cycle:5",
+            "f": 1,
+            "algorithm": "1",
+            "patterns": ["alternating", "split"],
+            "seed": 11,
+            "workers": list(WORKER_COUNTS),
+        },
+        measured={
+            "runs": baseline.runs,
+            "outcomes": baseline.outcomes,
+            "max_rounds": baseline.max_rounds,
+            "max_transmissions": baseline.max_transmissions,
+        },
+        checks=checks,
+        metrics=baseline.metrics,
+        timings={
+            "cpus": CPUS,
+            "wall_s": {f"w{w}": walls[w] for w in WORKER_COUNTS},
+            "speedup": {
+                f"w{w}": walls[1] / walls[w] for w in WORKER_COUNTS
+            },
+        },
+    ))
     # Correctness claim holds on any hardware: identical reports.
-    assert all(row[-1] for row in rows)
+    assert all(entry["ok"] for entry in checks)
     # Wall-clock claim needs the cores to exist: ≥ 2x at 4 workers.
     if CPUS >= 4:
         four = next(row for row in rows if row[0] == 4)

@@ -25,11 +25,16 @@ Subpackages: :mod:`repro.graphs` (graph substrate), :mod:`repro.net`
 (synchronous simulator, channel models, adversaries),
 :mod:`repro.consensus` (algorithms + conditions + baselines),
 :mod:`repro.lowerbounds` (impossibility constructions),
-:mod:`repro.analysis` (requirement curves, cost models, sweeps).
+:mod:`repro.analysis` (requirement curves, cost models, sweeps),
+:mod:`repro.obs` (metrics registry, span tracer, NDJSON events,
+quarantined wall timings).
 """
 
-from . import analysis, consensus, graphs, lowerbounds, net
+from . import analysis, consensus, graphs, lowerbounds, net, obs
 
 __version__ = "1.0.0"
 
-__all__ = ["analysis", "consensus", "graphs", "lowerbounds", "net", "__version__"]
+__all__ = [
+    "analysis", "consensus", "graphs", "lowerbounds", "net", "obs",
+    "__version__",
+]

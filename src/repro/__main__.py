@@ -43,6 +43,7 @@ no round schedule, and no delay bound read anywhere — pair it with
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import consensus, graphs
@@ -229,6 +230,47 @@ def build_factory(args: argparse.Namespace, graph: graphs.Graph):
     raise SystemExit(f"unknown algorithm {args.algorithm!r}")
 
 
+def build_metrics(args: argparse.Namespace):
+    """``--metrics``/``--events`` → a metered registry, or ``None``.
+
+    ``--metrics`` with no value prints the snapshot to stdout; with a
+    path it writes there.  ``--events FILE`` attaches an NDJSON event
+    log; giving it alone still meters the run (events need a registry).
+    """
+    from .obs import EventLog, MetricsRegistry
+
+    if args.metrics is None and not args.events:
+        return None
+    events = EventLog.open(args.events) if args.events else None
+    return MetricsRegistry(events=events)
+
+
+def emit_metrics(args: argparse.Namespace, registry, metrics, timings) -> None:
+    """Write/print a run's metrics per ``--metrics`` and close the log.
+
+    The payload keeps the quarantine split explicit: ``metrics`` is
+    canonical content, ``timings`` is wall-clock commentary (strip it
+    before any determinism comparison).
+    """
+    if registry is None:
+        return
+    if args.metrics is not None:
+        payload = json.dumps(
+            {"metrics": metrics, "timings": timings},
+            indent=2, sort_keys=True, default=repr,
+        )
+        if args.metrics == "-":
+            print(payload)
+        else:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote metrics to {args.metrics}")
+    if registry.events is not None:
+        count = registry.events.count
+        registry.events.close()
+        print(f"wrote {count} events to {args.events}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     graph = parse_graph(args.graph)
     factory = build_factory(args, graph)
@@ -255,9 +297,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         raise SystemExit("run takes exactly one --scheduler")
     require_bounded_axis(args.algorithm, axis)
     factory = apply_synchronizer(factory, args.synchronizer, axis, f=args.f)
+    registry = build_metrics(args)
     result = consensus.run_consensus(
         graph, factory, inputs, f=args.f, faulty=faulty,
         adversary=adversary, channel=channel, scheduler=axis[0],
+        metrics=registry,
     )
     print(f"inputs        : {inputs}")
     print(f"faulty        : {faulty} ({args.adversary if faulty else 'none'})")
@@ -270,6 +314,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"rounds        : {result.rounds}")
     print(f"transmissions : {result.transmissions}")
     print(f"max latency   : {result.trace.max_latency}")
+    emit_metrics(args, registry, result.metrics, result.timings)
     return 0 if result.consensus else 1
 
 
@@ -308,6 +353,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     )
     require_bounded_axis(args.algorithm, schedulers)
     factory = apply_synchronizer(factory, args.synchronizer, schedulers, f=args.f)
+    metered = args.metrics is not None or bool(args.events)
     report = consensus_sweep(
         graph,
         factory,
@@ -319,6 +365,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         schedulers=schedulers,
         channel_policy=channel_policy,
+        metrics=metered,
     )
     text = report.to_json(
         graph=args.graph, f=args.f, workers=args.workers,
@@ -330,9 +377,157 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(f"wrote {report.runs} records to {args.output}")
     else:
         print(text)
+    if metered and args.metrics not in (None, "-"):
+        # Side file with just the aggregate: the merged canonical
+        # snapshot plus the quarantined wall-clock section.
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"metrics": report.metrics, "timings": report.timings},
+                indent=2, sort_keys=True, default=repr,
+            ) + "\n")
+        print(f"wrote merged metrics to {args.metrics}")
+    if args.events:
+        # Canonical slot order (records are slotted by task index), so
+        # the NDJSON stream is byte-identical at any worker count.
+        from .obs import EventLog
+
+        with EventLog.open(args.events) as events:
+            for index, rec in enumerate(report.records):
+                events.emit(
+                    "record",
+                    index=index,
+                    faulty=rec.faulty,
+                    adversary=rec.adversary,
+                    inputs=rec.inputs_name,
+                    scheduler=rec.scheduler,
+                    outcome=rec.outcome,
+                    rounds=rec.rounds,
+                    transmissions=rec.transmissions,
+                    decision=rec.decision,
+                )
+            events.emit(
+                "summary",
+                runs=report.runs,
+                all_consensus=report.all_consensus,
+                outcomes=report.outcomes,
+            )
+            count = events.count
+        print(f"wrote {count} events to {args.events}")
     if args.exit_zero:
         return 0
     return 0 if report.all_consensus else 1
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Metered fault-free run + metered sweep, checked against the
+    closed forms of :mod:`repro.analysis.metrics`.
+
+    With ``--output`` the result is written as a ``BENCH_<name>.json``
+    record (schema in :mod:`repro.obs.bench`); exit status reports
+    whether every closed-form check passed.
+    """
+    from .analysis import consensus_sweep
+    from .analysis.metrics import expected_flood_deliveries, predicted_costs
+    from .obs import bench_json, bench_record, check, render_key
+
+    graph = parse_graph(args.graph)
+    factory = build_factory(args, graph)
+    nodes = sorted(graph.nodes, key=repr)
+    inputs = {v: i % 2 for i, v in enumerate(nodes)}
+    result = consensus.run_consensus(graph, factory, inputs, f=args.f, metrics=True)
+    report = consensus_sweep(
+        graph,
+        factory,
+        f=args.f,
+        fault_limit=args.fault_limit,
+        seed=args.seed,
+        workers=args.workers,
+        metrics=True,
+    )
+    costs = predicted_costs(graph, args.f, args.t or 0)
+    flood_total = expected_flood_deliveries(graph)
+    predictions = {
+        "n": costs.n,
+        "phases": costs.phases,
+        "rounds_algorithm1": costs.rounds_algorithm1,
+        "rounds_algorithm2": costs.rounds_algorithm2,
+        "round_blowup": costs.round_blowup,
+        "expected_flood_deliveries": flood_total,
+    }
+
+    checks = []
+    probe = factory(nodes[0], 0)
+    budget = getattr(probe, "total_rounds", None)
+    if args.algorithm in ("1", "2") and isinstance(budget, int):
+        predicted_budget = (
+            costs.rounds_algorithm2 if args.algorithm == "2"
+            else costs.rounds_algorithm1
+        )
+        checks.append(check("round_budget", predicted_budget, budget))
+        checks.append(
+            check("rounds_within_budget", True, result.rounds <= budget)
+        )
+    if args.algorithm == "2":
+        # Phase 1 is one full flood; every node's own trivial path is
+        # not a delivery, hence the − n (Section 5.3's honest cost).
+        accepted = result.metrics["counters"].get(
+            render_key("flood.accepted", {"phase": ("efficient", 1)}), 0
+        )
+        checks.append(
+            check("phase1_flood_accepted", flood_total - graph.n, accepted)
+        )
+
+    timings = {"run": result.timings, "sweep": report.timings}
+    record = bench_record(
+        args.name or f"profile_alg{args.algorithm}",
+        spec={
+            "graph": args.graph,
+            "n": graph.n,
+            "f": args.f,
+            "t": args.t or 0,
+            "algorithm": args.algorithm,
+            "fault_limit": args.fault_limit,
+            "seed": args.seed,
+            "workers": args.workers,
+        },
+        predictions=predictions,
+        measured={
+            "rounds": result.rounds,
+            "transmissions": result.transmissions,
+            "deliveries": result.deliveries,
+            "outcome": result.outcome,
+            "sweep_runs": report.runs,
+            "sweep_all_consensus": report.all_consensus,
+            "sweep_outcomes": report.outcomes,
+            "sweep_max_rounds": report.max_rounds,
+            "sweep_max_transmissions": report.max_transmissions,
+        },
+        checks=checks,
+        metrics=result.metrics,
+        timings=timings,
+    )
+
+    print(f"profile: algorithm {args.algorithm} on {args.graph} "
+          f"(n={graph.n}, f={args.f})")
+    for key in sorted(predictions):
+        print(f"  predict {key:<26}= {predictions[key]}")
+    print(f"  run     rounds={result.rounds} "
+          f"transmissions={result.transmissions} outcome={result.outcome}")
+    print(f"  sweep   runs={report.runs} outcomes={report.outcomes}")
+    utilization = (report.timings or {}).get("utilization")
+    if utilization is not None:
+        print(f"  wall    run={timings['run']['run']['seconds']:.3f}s "
+              f"sweep={report.timings['total_s']:.3f}s "
+              f"utilization={utilization:.2f}")
+    for entry in checks:
+        verdict = "ok" if entry["ok"] else "FAIL"
+        print(f"  check   {entry['name']}: expected={entry['expected']} "
+              f"actual={entry['actual']} {verdict}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(bench_json(record) + "\n")
+        print(f"wrote bench record to {args.output}")
+    return 0 if all(entry["ok"] for entry in checks) else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -413,6 +608,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "of this window (0 = flat max-delay stretching)")
     p.add_argument("--seed", type=int, default=0,
                    help="seed for the seeded-async scheduler")
+    p.add_argument("--metrics", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="meter the run; print the canonical snapshot "
+                        "(plus quarantined wall timings) to stdout, or "
+                        "write it to FILE")
+    p.add_argument("--events", default="", metavar="FILE",
+                   help="write an NDJSON event stream (ticks, spans, "
+                        "decisions, result) to FILE; implies metering")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -457,7 +660,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "(async schedulers legitimately break the "
                         "fixed-round algorithms; use for determinism "
                         "smoke checks)")
+    p.add_argument("--metrics", nargs="?", const="-", default=None,
+                   metavar="FILE",
+                   help="meter every run: the report gains per-record "
+                        "snapshots, a canonical merge, and quarantined "
+                        "wall timings; with FILE also write the "
+                        "aggregate there")
+    p.add_argument("--events", default="", metavar="FILE",
+                   help="write one NDJSON record event per task (in "
+                        "canonical slot order) plus a summary to FILE; "
+                        "implies metering")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "profile",
+        help="metered fault-free run + sweep, checked against the "
+             "closed-form cost model; optionally emit BENCH_<name>.json",
+    )
+    p.add_argument("--graph", required=True)
+    p.add_argument("--f", type=int, required=True)
+    p.add_argument("--t", type=int, default=None)
+    p.add_argument("--algorithm", default="2",
+                   choices=["1", "2", "3", "async"])
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--fault-limit", type=int, default=None,
+                   help="seeded sample size of fault subsets")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--name", default="",
+                   help="bench record name (default profile_alg<N>)")
+    p.add_argument("--output", default="",
+                   help="write the BENCH record JSON to this path")
+    p.set_defaults(fn=cmd_profile, synchronizer="none")
 
     p = sub.add_parser(
         "lint",

@@ -48,6 +48,7 @@ from ..net.adversary import Adversary, HonestFactory, standard_adversaries
 from ..net.channels import ChannelModel, hybrid_model
 from ..net.sched import SchedulerSpec
 from ..graphs import Graph
+from ..obs import Stopwatch, merge_snapshots
 
 #: A scheduler-axis entry: ``None`` is the synchronous fast path.
 SchedulerAxisEntry = Optional[SchedulerSpec]
@@ -83,13 +84,26 @@ class SweepRecord:
     decision: Optional[int]
     scheduler: str = _SYNC_NAME
     outcome: str = OUTCOME_DECIDED
+    #: Canonical per-run metrics snapshot (metered sweeps only).
+    #: Content data — virtual time only; participates in byte-identity.
+    metrics: Optional[dict] = None
 
 
 @dataclass
 class SweepReport:
-    """Aggregate of a full sweep."""
+    """Aggregate of a full sweep.
+
+    ``metrics`` (metered sweeps) is the canonical merge of every
+    record's snapshot — computed from the slotted record list, i.e. the
+    same canonical order :attr:`outcomes` counts over, so it is
+    byte-identical at any worker count.  ``timings`` is the quarantined
+    wall-clock section: real durations, excluded (via
+    :func:`repro.obs.strip_timings`) from every determinism comparison.
+    """
 
     records: List[SweepRecord] = field(default_factory=list)
+    metrics: Optional[dict] = None
+    timings: Optional[dict] = None
 
     @property
     def runs(self) -> int:
@@ -120,16 +134,33 @@ class SweepReport:
         return {k: counts[k] for k in sorted(counts)}
 
     def to_dict(self) -> dict:
-        """A JSON-ready summary plus every record (canonical order)."""
-        return {
+        """A JSON-ready summary plus every record (canonical order).
+
+        Un-metered reports keep their historical shape: the optional
+        ``metrics``/``timings`` keys (and each record's ``metrics``)
+        appear only when the sweep was metered.
+        """
+        payload = {
             "runs": self.runs,
             "all_consensus": self.all_consensus,
             "failures": len(self.failures),
             "outcomes": self.outcomes,
             "max_rounds": self.max_rounds,
             "max_transmissions": self.max_transmissions,
-            "records": [asdict(r) for r in self.records],
+            "records": [self._record_dict(r) for r in self.records],
         }
+        if self.metrics is not None:
+            payload["metrics"] = self.metrics
+        if self.timings is not None:
+            payload["timings"] = self.timings
+        return payload
+
+    @staticmethod
+    def _record_dict(record: SweepRecord) -> dict:
+        d = asdict(record)
+        if d.get("metrics") is None:
+            d.pop("metrics", None)
+        return d
 
     def to_json(self, indent: Optional[int] = 2, **extra) -> str:
         """Serialize :meth:`to_dict`; non-JSON node labels fall back to
@@ -238,6 +269,9 @@ class _SweepContext:
     channel: Optional[ChannelModel]
     schedulers: Tuple[SchedulerAxisEntry, ...] = (None,)
     channel_policy: Optional[ChannelPolicy] = None
+    #: Metered sweep: every task runs with a fresh metrics registry and
+    #: its snapshot rides the record back to the parent.
+    metered: bool = False
 
 
 def sweep_tasks(
@@ -291,6 +325,7 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         adversary=adversary,
         channel=channel,
         scheduler=scheduler,
+        metrics=context.metered,
     )
     return SweepRecord(
         faulty=task.faulty,
@@ -304,6 +339,7 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         decision=result.decision,
         scheduler=_scheduler_name(scheduler),
         outcome=result.outcome,
+        metrics=result.metrics,
     )
 
 
@@ -324,9 +360,24 @@ def _worker_init(payload: bytes) -> None:
 
 def _worker_run_chunk(
     tasks: Sequence[SweepTask],
-) -> List[Tuple[int, SweepRecord]]:
+) -> Tuple[List[Tuple[int, SweepRecord, Optional[float]]], Optional[float]]:
+    """Execute one chunk; returns slotted entries plus the chunk's wall time.
+
+    Per-task and per-chunk wall seconds are measured only on metered
+    sweeps and travel *separately* from the records — they are
+    quarantined timing data, never part of the canonical report body.
+    """
     assert _WORKER_CONTEXT is not None, "worker used before initialization"
-    return [(task.index, _execute_task(_WORKER_CONTEXT, task)) for task in tasks]
+    metered = _WORKER_CONTEXT.metered
+    chunk_watch = Stopwatch() if metered else None
+    entries: List[Tuple[int, SweepRecord, Optional[float]]] = []
+    for task in tasks:
+        task_watch = Stopwatch() if metered else None
+        record = _execute_task(_WORKER_CONTEXT, task)
+        entries.append(
+            (task.index, record, task_watch.elapsed() if task_watch else None)
+        )
+    return entries, chunk_watch.elapsed() if chunk_watch else None
 
 
 def _chunked(tasks: List[SweepTask], n_workers: int) -> List[List[SweepTask]]:
@@ -347,6 +398,7 @@ def consensus_sweep(
     workers: int = 1,
     schedulers: Optional[Sequence[SchedulerAxisEntry]] = None,
     channel_policy: Optional[ChannelPolicy] = None,
+    metrics: bool = False,
 ) -> SweepReport:
     """Run the full battery and report whether consensus *always* held.
 
@@ -365,6 +417,12 @@ def consensus_sweep(
     channel model from its fault tuple — required by the hybrid model,
     where the equivocator set *is* a subset of the faulty set (see
     :class:`HybridEquivocatorPolicy`).
+
+    ``metrics=True`` meters every task: each record carries its run's
+    canonical snapshot, the report carries their canonical merge
+    (computed from the slotted record list — byte-identical at any
+    worker count), and a separate quarantined ``timings`` section
+    carries per-task/per-chunk wall time and worker utilization.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -400,6 +458,7 @@ def consensus_sweep(
         channel=channel,
         schedulers=scheduler_axis,
         channel_policy=channel_policy,
+        metered=metrics,
     )
 
     payload: Optional[bytes] = None
@@ -414,10 +473,22 @@ def consensus_sweep(
                 stacklevel=2,
             )
 
-    if payload is None:
-        return SweepReport(records=[_execute_task(context, t) for t in tasks])
+    total_watch = Stopwatch() if metrics else None
+    task_seconds: List[Optional[float]] = [None] * len(tasks)
+    chunk_stats: List[dict] = []
 
-    records: List[Optional[SweepRecord]] = [None] * len(tasks)
+    if payload is None:
+        records = []
+        for t in tasks:
+            task_watch = Stopwatch() if metrics else None
+            records.append(_execute_task(context, t))
+            if task_watch is not None:
+                task_seconds[t.index] = task_watch.elapsed()
+        return _assemble_report(
+            records, metrics, 1, total_watch, task_seconds, chunk_stats
+        )
+
+    slots: List[Optional[SweepRecord]] = [None] * len(tasks)
     n_workers = min(workers, len(tasks))
     with ProcessPoolExecutor(
         max_workers=n_workers,
@@ -429,7 +500,46 @@ def consensus_sweep(
             for chunk in _chunked(tasks, n_workers)
         ]
         for future in as_completed(futures):
-            for index, record in future.result():
-                records[index] = record
-    assert all(r is not None for r in records)
-    return SweepReport(records=list(records))  # type: ignore[arg-type]
+            entries, chunk_wall = future.result()
+            for index, record, seconds in entries:
+                slots[index] = record
+                task_seconds[index] = seconds
+            if chunk_wall is not None:
+                chunk_stats.append({"tasks": len(entries), "seconds": chunk_wall})
+    assert all(r is not None for r in slots)
+    return _assemble_report(
+        list(slots), metrics, n_workers, total_watch, task_seconds, chunk_stats
+    )  # type: ignore[arg-type]
+
+
+def _assemble_report(
+    records: List[SweepRecord],
+    metered: bool,
+    n_workers: int,
+    total_watch: Optional[Stopwatch],
+    task_seconds: List[Optional[float]],
+    chunk_stats: List[dict],
+) -> SweepReport:
+    """Slot-ordered records → report, with the canonical metrics merge.
+
+    Both :attr:`SweepReport.outcomes` and the metrics merge consume the
+    same slotted list — the canonical task order — so neither can drift
+    from the other or double-count under any worker count.  All wall
+    numbers go to the quarantined ``timings`` section only.
+    """
+    if not metered:
+        return SweepReport(records=records)
+    merged = merge_snapshots([r.metrics for r in records])
+    measured = [s for s in task_seconds if s is not None]
+    total_s = total_watch.elapsed() if total_watch is not None else 0.0
+    timings = {
+        "total_s": total_s,
+        "workers": n_workers,
+        "tasks_s": task_seconds,
+        "tasks_sum_s": sum(measured),
+        "chunks": chunk_stats,
+        "utilization": (
+            sum(measured) / (n_workers * total_s) if total_s > 0 else None
+        ),
+    }
+    return SweepReport(records=records, metrics=merged, timings=timings)

@@ -30,6 +30,7 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 from ..graphs import Graph
 from ..net.messages import DecisionPayload, ValuePayload
 from ..net.node import Context, Protocol
+from ..obs import NULL_METRICS
 from .flooding import FloodInstance
 from .reliable import ClaimIndex, ReportBundle, detect_faults, reliable_value
 
@@ -68,9 +69,13 @@ class Algorithm2Protocol(Protocol):
         self.detected: Set[Hashable] = set()
         self.node_type: Optional[str] = None  # "A" or "B" after phase 2
         self._output: Optional[int] = None
+        # Cached per activation: phase-conclusion helpers run without a
+        # context, so they read the registry from here.
+        self._metrics = NULL_METRICS
 
     # ------------------------------------------------------------------
     def on_round(self, ctx: Context) -> None:
+        self._metrics = ctx.metrics
         r = ctx.round_no
         n = self.n
         if r > self.total_rounds:
@@ -156,7 +161,12 @@ class Algorithm2Protocol(Protocol):
         assert self._flood1 is not None and self._flood2 is not None
         for origin in sorted(self.graph.nodes, key=repr):
             value = reliable_value(
-                self.graph, self.f, self.me, self._flood1.delivered, origin
+                self.graph,
+                self.f,
+                self.me,
+                self._flood1.delivered,
+                origin,
+                metrics=self._metrics,
             )
             if value is not None:
                 self.reliable_values[origin] = value
@@ -189,6 +199,7 @@ class Algorithm2Protocol(Protocol):
             first_round=1,
         )
         self.node_type = "A" if len(self.detected) == self.f else "B"
+        self._metrics.inc("alg2.node_type", type=self.node_type)
 
     # ------------------------------------------------------------------
     # Phase 3: decide and disseminate

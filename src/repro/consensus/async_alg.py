@@ -79,6 +79,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 from ..graphs import Graph
 from ..net.messages import DecisionPayload, FloodMessage, ValuePayload, VotePayload
 from ..net.node import Context, Protocol
+from ..obs import NULL_METRICS
 from .algorithm2 import majority
 from .flooding import FloodInstance
 from .path_oracle import PathOracle
@@ -171,13 +172,24 @@ class AsyncConsensusProtocol(Protocol):
         self._output: Optional[int] = None
         self._started = False
         self._last_progress = 0
+        # Observability: cached per activation (the refresh/decide
+        # helpers run without a context).  Spans are anchored to the
+        # virtual clock — ticks, never wall time.
+        self._metrics = NULL_METRICS
+        self._now = 0
+        self._start_tick = 0
+        self._last_vote_tick = 0
 
     # ------------------------------------------------------------------
     def on_round(self, ctx: Context) -> None:
         now = ctx.virtual_now
+        self._metrics = ctx.metrics
+        self._now = now
         progressed = False
         if not self._started:
             self._started = True
+            self._start_tick = now
+            self._last_vote_tick = now
             self._values.initiate(ctx, ValuePayload(self.input_value))
             self._last_progress = now
             progressed = True
@@ -257,10 +269,16 @@ class AsyncConsensusProtocol(Protocol):
         for origin in sorted(self.graph.nodes - self.reliable_values.keys(), key=repr):
             payload = reliable_payload(
                 self.graph, self.f, self.me, self._values.delivered,
-                origin, oracle=self.oracle,
+                origin, oracle=self.oracle, metrics=self._metrics,
             )
             if isinstance(payload, ValuePayload):
                 self.reliable_values[origin] = payload.value
+                # Per-origin flood latency: protocol start to the tick
+                # this node reliably received the origin's value.
+                self._metrics.span(
+                    "async.flood", self._start_tick, self._now,
+                    node=self.me, origin=origin,
+                )
 
     def _refresh_votes(self, round_no: int) -> None:
         tally = self.vote_tallies.setdefault(round_no, {})
@@ -268,7 +286,7 @@ class AsyncConsensusProtocol(Protocol):
         for origin in sorted(self.graph.nodes - tally.keys(), key=repr):
             payload = reliable_payload(
                 self.graph, self.f, self.me, delivered, origin,
-                oracle=self.oracle,
+                oracle=self.oracle, metrics=self._metrics,
             )
             if isinstance(payload, VotePayload):
                 tally[origin] = payload.value
@@ -277,7 +295,7 @@ class AsyncConsensusProtocol(Protocol):
         for origin in sorted(self.graph.nodes - self.decisions_seen.keys(), key=repr):
             payload = reliable_payload(
                 self.graph, self.f, self.me, self._decides.delivered,
-                origin, oracle=self.oracle,
+                origin, oracle=self.oracle, metrics=self._metrics,
             )
             if isinstance(payload, DecisionPayload):
                 self.decisions_seen[origin] = payload.value
@@ -301,6 +319,15 @@ class AsyncConsensusProtocol(Protocol):
 
     def _decide(self, ctx: Context, value: int) -> None:
         self._output = value
+        # End-to-end decision latency for this node, in virtual ticks.
+        self._metrics.span(
+            "async.decide", self._start_tick, self._now,
+            node=self.me, value=value,
+        )
+        self._metrics.emit(
+            "decide", node=self.me, value=value, tick=self._now,
+            vote_round=self.vote_round,
+        )
         self._decides.initiate(ctx, DecisionPayload(value))
         self._refresh_decisions()
 
@@ -323,6 +350,7 @@ class AsyncConsensusProtocol(Protocol):
             return True
         if len(table) >= self.quorum and self._quiet(now):
             self._patience_now *= 2
+            self._metrics.inc("async.patience_restarts")
             self._cast_vote(ctx, now, majority(sorted(table.values())))
             return True
         return False
@@ -331,6 +359,13 @@ class AsyncConsensusProtocol(Protocol):
         self.vote_round += 1
         r = self.vote_round
         self.votes_cast[r] = ballot
+        # Per-round vote latency: from the previous cast (or protocol
+        # start) to this one.
+        self._metrics.span(
+            "async.vote", self._last_vote_tick, now, node=self.me, round=r
+        )
+        self._last_vote_tick = now
+        self._metrics.inc("async.votes_cast", round=r)
         if r not in self._votes:
             self._votes[r] = self._vote_instance(r)
         self._votes[r].initiate(ctx, VotePayload(r, ballot))

@@ -86,6 +86,7 @@ class FloodInstance:
         self._initiated = True
         self.delivered[(self.me,)] = payload
         ctx.broadcast(FloodMessage(self.phase, payload, ()))
+        ctx.metrics.inc("flood.initiated", phase=self.phase)
 
     def process_round(self, ctx: Context) -> int:
         """Apply rules (i)–(iv) to this round's inbox; returns #accepted.
@@ -112,6 +113,9 @@ class FloodInstance:
                     substitute = FloodMessage(self.phase, self.default_payload, ())
                     if self._accept(ctx, nbr, substitute):
                         accepted += 1
+                        ctx.metrics.inc(
+                            "flood.default_substituted", phase=self.phase
+                        )
         return accepted
 
     # ------------------------------------------------------------------
@@ -125,28 +129,37 @@ class FloodInstance:
         All neighbors of a sender hear the same transmissions in the same
         order, so this decision is identical everywhere.
         """
+        metrics = ctx.metrics
         extended = message.extended_by(sender)  # Π - u
         # Rule (i): Π - u must exist in G.
         if not is_path(self.graph, extended):
+            metrics.inc("flood.rejected", phase=self.phase, rule="i")
             return False
         # Rule (iii): Π must not already contain me.
         if self.me in message.path:
+            metrics.inc("flood.rejected", phase=self.phase, rule="iii")
             return False
         # Optional payload validation (e.g. report bundles must originate
         # at their claimed reporter).
         if self.validator is not None and not self.validator(message.payload, extended):
+            metrics.inc("flood.rejected", phase=self.phase, rule="validator")
             return False
         # Rule (ii): only the first well-formed message per (sender, Π)
         # slot is ever accepted — equivocation prevention.
         key = (sender, message.path)
         if self.enable_rule_ii:
             if key in self._seen:
+                metrics.inc("flood.rejected", phase=self.phase, rule="ii")
                 return False
             self._seen.add(key)
         # Rule (iv): accept along Π - u (recorded as the uv-path ending
         # here) and forward (b, Π - u).
         self.delivered[extended + (self.me,)] = message.payload
         ctx.broadcast(FloodMessage(self.phase, message.payload, extended))
+        metrics.inc("flood.accepted", phase=self.phase)
+        metrics.gauge_max(
+            "flood.path_set.max", len(self.delivered), phase=self.phase
+        )
         return True
 
     # ------------------------------------------------------------------

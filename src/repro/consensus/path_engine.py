@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional, Tuple
 
 from ..graphs import Graph, all_simple_paths
+from ..obs import NULL_METRICS
 
 PathTuple = Tuple[Hashable, ...]
 
@@ -84,6 +85,7 @@ class PathFloodEngine:
         graph: Graph,
         behaviors: Dict[Hashable, NodeBehavior],
         default: int = 1,
+        metrics: object = NULL_METRICS,
     ):
         missing = graph.nodes - set(behaviors)
         if missing:
@@ -91,6 +93,7 @@ class PathFloodEngine:
         self.graph = graph
         self.behaviors = dict(behaviors)
         self.default = default
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def effective_initial(self, origin: Hashable) -> int:
@@ -128,8 +131,14 @@ class PathFloodEngine:
         for origin in sorted(self.graph.nodes - {receiver}, key=repr):
             for path in all_simple_paths(self.graph, origin, receiver):
                 value = self.value_along(path)
+                self.metrics.inc("path_engine.paths_evaluated")
+                self.metrics.observe("path_engine.path_length", len(path))
                 if value is not None:
                     out[path] = value
+                    self.metrics.inc("path_engine.paths_delivered")
+                else:
+                    self.metrics.inc("path_engine.paths_dropped")
+        self.metrics.gauge_max("path_engine.path_set.max", len(out))
         return out
 
     def all_deliveries(self) -> Dict[Hashable, Dict[PathTuple, int]]:

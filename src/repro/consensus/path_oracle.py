@@ -38,6 +38,7 @@ from collections import deque
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 from ..graphs import Graph, disjoint_paths_excluding
+from ..obs import MetricsRegistry
 
 PathTuple = Tuple[Hashable, ...]
 
@@ -46,7 +47,7 @@ class PathOracle:
     """Memoized pruned-graph shortest paths and disjoint-path packings."""
 
     __slots__ = ("graph", "_pruned", "_trees", "_paths", "_packings",
-                 "hits", "misses")
+                 "metrics")
 
     def __init__(
         self,
@@ -65,12 +66,28 @@ class PathOracle:
             Tuple[FrozenSet[Hashable], Hashable, FrozenSet[Hashable], int],
             Optional[List[PathTuple]],
         ] = {}
-        self.hits = 0
-        self.misses = 0
+        # Per-process observability: cache traffic lands on a private
+        # registry so sweep merges can aggregate it, while the
+        # ``hits``/``misses`` property shims keep the original int API.
+        self.metrics = MetricsRegistry()
         if warm is not None:
             pruned, trees = warm
             self._pruned.update(pruned)
             self._trees.update(trees)
+
+    @property
+    def hits(self) -> int:
+        """Total cache hits (shim over the ``oracle.hits`` counters)."""
+        return self.metrics.counter("oracle.hits", kind="path") + self.metrics.counter(
+            "oracle.hits", kind="packing"
+        )
+
+    @property
+    def misses(self) -> int:
+        """Total cache misses (shim over the ``oracle.misses`` counters)."""
+        return self.metrics.counter(
+            "oracle.misses", kind="path"
+        ) + self.metrics.counter("oracle.misses", kind="packing")
 
     def __reduce__(self):
         # Ship the structural memos (pruned graphs and BFS parent trees)
@@ -133,9 +150,9 @@ class PathOracle:
         """
         key = (excluded, u, v)
         if key in self._paths:
-            self.hits += 1
+            self.metrics.inc("oracle.hits", kind="path")
             return self._paths[key]
-        self.misses += 1
+        self.metrics.inc("oracle.misses", kind="path")
         removed = frozenset(excluded - {u, v})
         graph = self.pruned(removed)
         path: Optional[PathTuple]
@@ -165,9 +182,9 @@ class PathOracle:
         """Memoized :func:`repro.graphs.disjoint_paths_excluding`."""
         key = (frozenset(sources), v, frozenset(exclude), k)
         if key in self._packings:
-            self.hits += 1
+            self.metrics.inc("oracle.hits", kind="packing")
             return self._packings[key]
-        self.misses += 1
+        self.metrics.inc("oracle.misses", kind="packing")
         result = disjoint_paths_excluding(self.graph, key[0], v, key[2], k)
         self._packings[key] = result
         return result

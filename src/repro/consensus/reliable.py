@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 from ..graphs import Graph, has_disjoint_path_packing, max_disjoint_paths
 from ..net.messages import FloodMessage, ValuePayload
+from ..obs import NULL_METRICS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (oracle imports graphs)
     from .path_oracle import PathOracle
@@ -81,6 +82,7 @@ def reliable_value(
     delivered: Dict[PathTuple, object],
     origin: Hashable,
     oracle: Optional["PathOracle"] = None,
+    metrics: object = NULL_METRICS,
 ) -> Optional[int]:
     """Definition C.1 applied to a phase-1 value flood.
 
@@ -104,7 +106,9 @@ def reliable_value(
         for path, payload in delivered.items()
         if isinstance(payload, ValuePayload)
     }
-    payload = reliable_payload(graph, f, me, values_only, origin, oracle=oracle)
+    payload = reliable_payload(
+        graph, f, me, values_only, origin, oracle=oracle, metrics=metrics
+    )
     return payload.value if isinstance(payload, ValuePayload) else None
 
 
@@ -115,6 +119,7 @@ def reliable_payload(
     delivered: Dict[PathTuple, object],
     origin: Hashable,
     oracle: Optional["PathOracle"] = None,
+    metrics: object = NULL_METRICS,
 ) -> Optional[object]:
     """Definition C.1 generalized to arbitrary flood payloads.
 
@@ -139,10 +144,12 @@ def reliable_payload(
     (shared) oracle answers from cache for every instance asking about
     the same origin.
     """
+    metrics.inc("reliable.queries")
     if origin == me:
         return delivered.get((me,))
     direct = delivered.get((origin, me))
     if direct is not None:
+        metrics.inc("reliable.direct_receipts")
         return direct
     groups: Dict[object, List[PathTuple]] = {}
     # repro: allow[REPRO001] hot path: delivered's insertion order is the
@@ -158,8 +165,12 @@ def reliable_payload(
             graph.neighbors(origin), me, frozenset((origin,)), f + 1
         )
         if feasible is None:
+            # Every per-payload packing check below would have run and
+            # failed — the count saved by the graph-level precheck.
+            metrics.inc("reliable.precheck_saved", len(groups))
             return None
     for payload in sorted(groups, key=repr):
+        metrics.inc("reliable.packing_checks")
         if has_disjoint_path_packing(groups[payload], f + 1, mode="uv"):
             return payload
     return None

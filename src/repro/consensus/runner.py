@@ -10,7 +10,7 @@ structured verdict, so tests and benchmarks stay declarative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Union
 
 from ..graphs import Graph
 from ..net.adversary import Adversary, FaultSpec, HonestFactory
@@ -19,6 +19,7 @@ from ..net.node import Protocol
 from ..net.sched import EventDrivenNetwork, SchedulerSpec
 from ..net.simulator import SimulationError, SynchronousNetwork
 from ..net.trace import Trace
+from ..obs import MetricsRegistry, WallTimings
 
 
 #: The four ways a run can end (``ConsensusResult.outcome``).
@@ -50,6 +51,12 @@ class ConsensusResult:
     #: flight, nothing sent, no local timers armed) with honest nodes
     #: still undecided — a genuine non-termination, not clock exhaustion.
     stalled: bool = False
+    #: Canonical metrics snapshot when the run was metered (content
+    #: data: virtual time only, byte-identical across engines/workers).
+    metrics: Optional[dict] = None
+    #: QUARANTINED wall-clock timings when metered.  Never compare these
+    #: for determinism — strip via :func:`repro.obs.strip_timings`.
+    timings: Optional[dict] = field(default=None, compare=False)
 
     @property
     def honest_outputs(self) -> Dict[Hashable, Optional[int]]:
@@ -122,6 +129,7 @@ def run_consensus(
     channel: Optional[ChannelModel] = None,
     max_rounds: Optional[int] = None,
     scheduler: Optional[SchedulerSpec] = None,
+    metrics: Union[bool, MetricsRegistry, None] = None,
 ) -> ConsensusResult:
     """Run one consensus execution and evaluate the three properties.
 
@@ -137,6 +145,12 @@ def run_consensus(
     run.  The lockstep spec is trace-equivalent to ``None``; the
     asynchronous specs deliberately stress the fixed-round protocols
     outside their synchrony assumption.
+
+    ``metrics`` meters the run: ``True`` builds a fresh
+    :class:`~repro.obs.MetricsRegistry`; passing a registry (e.g. one
+    with an NDJSON event log attached) uses it.  The canonical snapshot
+    lands on ``ConsensusResult.metrics`` and the wall-clock duration —
+    quarantined — on ``ConsensusResult.timings``.
     """
     faulty_set = frozenset(faulty)
     unknown = faulty_set - graph.nodes
@@ -223,19 +237,30 @@ def run_consensus(
             raise ValueError("max_rounds required: protocols expose no budget")
         max_rounds = max(known)
 
+    if metrics is True:
+        registry: Optional[MetricsRegistry] = MetricsRegistry()
+    elif metrics:
+        registry = metrics
+    else:
+        registry = None
+
     if scheduler is None:
-        net = SynchronousNetwork(graph, protocols, channel)
+        net = SynchronousNetwork(graph, protocols, channel, metrics=registry)
     else:
-        net = EventDrivenNetwork(graph, protocols, scheduler.build(graph), channel)
+        net = EventDrivenNetwork(
+            graph, protocols, scheduler.build(graph), channel, metrics=registry
+        )
     stalled = False
-    if message_driven:
-        stalled = _run_message_driven(net, max_rounds, honest)
-    else:
-        try:
-            net.run_until_decided(max_rounds, honest=set(honest))
-        except SimulationError:
-            pass  # non-termination is reported through the result, not raised
-    return ConsensusResult(
+    timer = WallTimings()
+    with timer.time("run"):
+        if message_driven:
+            stalled = _run_message_driven(net, max_rounds, honest)
+        else:
+            try:
+                net.run_until_decided(max_rounds, honest=set(honest))
+            except SimulationError:
+                pass  # non-termination is reported through the result, not raised
+    result = ConsensusResult(
         outputs=net.outputs(),
         honest=honest,
         faulty=faulty_set,
@@ -245,7 +270,19 @@ def run_consensus(
         deliveries=net.trace.delivery_count,
         trace=net.trace,
         stalled=stalled,
+        metrics=registry.snapshot() if registry is not None else None,
+        timings=timer.snapshot() if registry is not None else None,
     )
+    if registry is not None:
+        registry.emit(
+            "result",
+            outcome=result.outcome,
+            decision=result.decision,
+            rounds=result.rounds,
+            transmissions=result.transmissions,
+            deliveries=result.deliveries,
+        )
+    return result
 
 
 def _run_message_driven(net, max_ticks: int, honest: FrozenSet[Hashable]) -> bool:

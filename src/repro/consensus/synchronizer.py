@@ -254,6 +254,7 @@ class AlphaSynchronizer(Protocol):
             channel=ctx.channel,
             inbox=inbox,
             now=self.logical_round,
+            metrics=ctx.metrics,
         )
         self.inner.on_round(shadow)
         for out in shadow.outbox:

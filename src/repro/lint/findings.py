@@ -67,7 +67,9 @@ class LintConfig:
     """
 
     #: Path components that mark a module as trace-affecting (REPRO001).
-    trace_parts: Tuple[str, ...] = ("graphs", "net", "consensus", "analysis")
+    trace_parts: Tuple[str, ...] = (
+        "graphs", "net", "consensus", "analysis", "obs",
+    )
     #: Treat every module as trace-affecting (fixture corpora).
     trace_all: bool = False
     #: Basenames registered as unbounded-safe: no delay-bound attribute

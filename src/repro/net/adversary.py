@@ -94,6 +94,7 @@ class _WrapperProtocol(Protocol):
             channel=ctx.channel,
             inbox=ctx.inbox,
             now=ctx.now,
+            metrics=ctx.metrics,
         )
         self.inner.on_round(shadow)
         for message, target in self.transform(

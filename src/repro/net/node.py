@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
 from ..graphs import Graph
+from ..obs import NULL_METRICS
 from .channels import ChannelModel, EquivocationError
 
 Inbox = List[Tuple[Hashable, object]]  # (sender, message), FIFO order
@@ -47,6 +48,12 @@ class Context:
     synchronous simulator (and the lockstep scheduler) it equals
     ``round_no``; asynchronous schedulers may eventually decouple the
     two, so timing-aware protocols should read ``virtual_now``.
+
+    ``metrics`` is the run's observability registry (a shared no-op
+    unless the engine was built with one), so protocols instrument
+    unconditionally — counting against :data:`~repro.obs.NULL_METRICS`
+    costs one method call.  Wrappers that re-activate an inner protocol
+    through a shadow context must propagate it.
     """
 
     node: Hashable
@@ -56,6 +63,7 @@ class Context:
     inbox: Inbox
     outbox: List[Outgoing] = field(default_factory=list)
     now: Optional[int] = None
+    metrics: object = NULL_METRICS
 
     @property
     def virtual_now(self) -> int:

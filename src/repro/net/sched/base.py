@@ -38,6 +38,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from ...graphs import Graph
+from ...obs import NULL_METRICS, MetricsRegistry
 from ..channels import ChannelModel
 from ..node import Context, Inbox, Protocol
 from ..simulator import NetworkEngine
@@ -76,6 +77,10 @@ class Scheduler(ABC):
     #: and ``worst_case_delay = None``.
     bounded = False
     worst_case_delay: Optional[int] = None
+    #: Observability sink.  The engine points this at its own registry
+    #: when metrics are on; the default no-op keeps ``delay`` draws
+    #: free to observe unconditionally.
+    metrics = NULL_METRICS
 
     def bind(self, graph: Graph, channel: ChannelModel) -> None:
         """Attach to one run: reset link clocks and any per-run state."""
@@ -103,6 +108,7 @@ class Scheduler(ABC):
                     f"worst-case bound {self.worst_case_delay} for "
                     f"{send.sender!r} -> {recipient!r}"
                 )
+            self.metrics.observe("sched.delay", d)
             when = send.time + d
             # FIFO per directed link: never undercut the link's latest
             # assigned delivery (ties keep send order via event seq).
@@ -145,10 +151,12 @@ class EventDrivenNetwork(NetworkEngine):
         protocols: Mapping[Hashable, Protocol],
         scheduler: Scheduler,
         channel: Optional[ChannelModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(graph, protocols, channel)
+        super().__init__(graph, protocols, channel, metrics)
         self.scheduler = scheduler
         scheduler.bind(graph, self.channel)
+        scheduler.metrics = self.metrics
         # round_no doubles as the virtual tick of the latest activation.
         self._events: List[Tuple[int, int, DeliveryEvent]] = []
         self._arrived: Dict[Hashable, Inbox] = {v: [] for v in self._order}
@@ -166,6 +174,8 @@ class EventDrivenNetwork(NetworkEngine):
             _, _, event = heapq.heappop(self._events)
             self._arrived[event.recipient].append((event.sender, event.message))
         inboxes, self._arrived = self._arrived, {v: [] for v in self._order}
+        delivered = sum(len(inboxes[v]) for v in self._order)
+        sent_before = len(self.trace.transmissions)
         outboxes: list[tuple[Hashable, Context]] = []
         for node in self._order:
             ctx = Context(
@@ -175,6 +185,7 @@ class EventDrivenNetwork(NetworkEngine):
                 channel=self.channel,
                 inbox=inboxes[node],
                 now=now,
+                metrics=self.metrics,
             )
             self.protocols[node].on_round(ctx)
             outboxes.append((node, ctx))
@@ -184,6 +195,7 @@ class EventDrivenNetwork(NetworkEngine):
                 self._dispatch(node, out.message, out.target, recipients, now)
         if self.trace.rounds < self.round_no:
             self.trace.rounds = self.round_no
+        self._observe_tick(delivered, len(self.trace.transmissions) - sent_before)
 
     def _dispatch(
         self,

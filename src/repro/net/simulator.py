@@ -32,6 +32,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Mapping, Optional
 
 from ..graphs import Graph
+from ..obs import NULL_METRICS, MetricsRegistry
 from .channels import ChannelModel, local_broadcast_model
 from .node import Context, Inbox, Protocol
 from .trace import Delivery, Trace, Transmission
@@ -59,6 +60,7 @@ class NetworkEngine:
         graph: Graph,
         protocols: Mapping[Hashable, Protocol],
         channel: Optional[ChannelModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         missing = graph.nodes - set(protocols)
         if missing:
@@ -72,11 +74,42 @@ class NetworkEngine:
         self.trace = Trace()
         self.round_no = 0
         self._order = sorted(graph.nodes, key=repr)
+        self.metrics = metrics if metrics is not None else NULL_METRICS
 
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance one round/tick.  Implemented by each engine."""
         raise NotImplementedError
+
+    def _observe_tick(self, delivered: int, sent: int) -> None:
+        """Per-tick network metrics, identical across both engines.
+
+        ``delivered`` counts messages handed to inboxes this tick,
+        ``sent`` the transmissions queued by it.  Both engines call
+        this at the end of :meth:`step`, so under lockstep timing the
+        full metric snapshots — not just the traces — are equal
+        (property-tested).
+        """
+        m = self.metrics
+        if not m.enabled:
+            return
+        in_flight = self.in_flight
+        m.inc("net.ticks")
+        if delivered:
+            m.inc("net.deliveries", delivered)
+        if sent:
+            m.inc("net.transmissions", sent)
+        m.observe("net.deliveries_per_tick", delivered)
+        m.gauge_max("net.in_flight.max", in_flight)
+        if delivered == 0 and sent == 0 and in_flight == 0:
+            m.inc("net.quiescent_ticks")
+        m.emit(
+            "tick",
+            tick=self.round_no,
+            deliveries=delivered,
+            sends=sent,
+            in_flight=in_flight,
+        )
 
     def _resolve_recipients(
         self, node: Hashable, target: Optional[Hashable]
@@ -137,8 +170,9 @@ class SynchronousNetwork(NetworkEngine):
         graph: Graph,
         protocols: Mapping[Hashable, Protocol],
         channel: Optional[ChannelModel] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
-        super().__init__(graph, protocols, channel)
+        super().__init__(graph, protocols, channel, metrics)
         self._pending: Dict[Hashable, Inbox] = {v: [] for v in self._order}
 
     @property
@@ -156,6 +190,8 @@ class SynchronousNetwork(NetworkEngine):
         """Execute one synchronous round."""
         self.round_no += 1
         inboxes, self._pending = self._pending, {v: [] for v in self._order}
+        delivered = sum(len(inboxes[v]) for v in self._order)
+        sent_before = len(self.trace.transmissions)
         outboxes: list[tuple[Hashable, Context]] = []
         for node in self._order:
             ctx = Context(
@@ -165,6 +201,7 @@ class SynchronousNetwork(NetworkEngine):
                 channel=self.channel,
                 inbox=inboxes[node],
                 now=self.round_no,
+                metrics=self.metrics,
             )
             self.protocols[node].on_round(ctx)
             outboxes.append((node, ctx))
@@ -197,5 +234,11 @@ class SynchronousNetwork(NetworkEngine):
                         )
                     )
                     self._pending[r].append((node, out.message))
+                    # The synchronous engine *is* the unit-delay
+                    # scheduler, so it reports the same delay
+                    # distribution the lockstep scheduler would —
+                    # keeping full metric snapshots engine-equal.
+                    self.metrics.observe("sched.delay", 1)
         if self.trace.rounds < self.round_no:
             self.trace.rounds = self.round_no
+        self._observe_tick(delivered, len(self.trace.transmissions) - sent_before)

@@ -1,0 +1,80 @@
+"""Standardized ``BENCH_<name>.json`` performance records.
+
+Every benchmark and the ``profile`` CLI emit the same record shape, so
+the repo accumulates a *perf trajectory*: each future optimization PR
+regenerates the records and diffs them against the committed baseline.
+
+Record layout (``schema`` versions the shape)::
+
+    {
+      "bench": "<name>",
+      "schema": 1,
+      "spec":        {...}   # what was run (graph, f, workers, ...)
+      "predictions": {...}   # closed forms from analysis.metrics
+      "measured":    {...}   # content measurements (virtual time)
+      "checks":      [...]   # measured-vs-predicted comparisons
+      "metrics":     {...}   # registry snapshot / canonical merge
+      "timings":     {...}   # QUARANTINED wall-clock data
+    }
+
+Everything except ``timings`` is deterministic content: regenerating a
+record on any machine must reproduce it byte-for-byte once ``timings``
+is stripped (:func:`repro.obs.strip_timings`).  Machine-speed claims
+live only under ``timings`` and are never asserted on in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional
+
+BENCH_SCHEMA = 1
+
+
+def check(name: str, expected: object, actual: object) -> dict:
+    """One measured-vs-predicted comparison row."""
+    return {
+        "name": name,
+        "expected": expected,
+        "actual": actual,
+        "ok": expected == actual,
+    }
+
+
+def bench_record(
+    name: str,
+    spec: dict,
+    predictions: Optional[dict] = None,
+    measured: Optional[dict] = None,
+    checks: Optional[List[dict]] = None,
+    metrics: Optional[dict] = None,
+    timings: Optional[dict] = None,
+) -> dict:
+    """Assemble one standardized benchmark record."""
+    return {
+        "bench": name,
+        "schema": BENCH_SCHEMA,
+        "spec": spec,
+        "predictions": predictions if predictions is not None else {},
+        "measured": measured if measured is not None else {},
+        "checks": checks if checks is not None else [],
+        "metrics": metrics if metrics is not None else {},
+        "timings": timings if timings is not None else {},
+    }
+
+
+def bench_json(record: dict) -> str:
+    """Canonical JSON rendering (sorted keys, ``repr`` fallback)."""
+    return json.dumps(record, indent=2, sort_keys=True, default=repr)
+
+
+def bench_path(name: str, directory: str = ".") -> Path:
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def write_bench(record: dict, directory: str = ".") -> Path:
+    """Write ``BENCH_<name>.json`` into ``directory``; returns the path."""
+    path = bench_path(record["bench"], directory)
+    path.write_text(bench_json(record) + "\n", encoding="utf-8")
+    return path

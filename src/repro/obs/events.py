@@ -1,0 +1,59 @@
+"""NDJSON event emission: one JSON object per line, append-only.
+
+An :class:`EventLog` is a thin sink the metrics registry (and any
+layer holding one) writes structured events into — per-tick network
+summaries, protocol decisions, span completions, sweep records.  The
+format is newline-delimited JSON with sorted keys and ``repr``
+fallback for non-JSON values (node ids, phase tags), so a log is
+diffable and a pure function of the run it describes: no timestamps,
+pids, or hostnames are ever added implicitly.  Wall-clock data may be
+carried only under an explicit ``timings`` field by callers that are
+themselves quarantined (the sweep executor, the profile CLI).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Optional
+
+
+class EventLog:
+    """Writes NDJSON events to a text stream.
+
+    Use :meth:`open` for a file path (the log then owns and closes the
+    handle) or pass any text stream — ``sys.stdout``, an ``io.StringIO``
+    in tests — to the constructor.
+    """
+
+    def __init__(self, stream: IO[str], owns_stream: bool = False):
+        self._stream: Optional[IO[str]] = stream
+        self._owns = owns_stream
+        #: Events written so far (for tests and the CLI summary line).
+        self.count = 0
+
+    @classmethod
+    def open(cls, path: str) -> "EventLog":
+        """An event log appending to ``path`` (created/truncated)."""
+        return cls(open(path, "w", encoding="utf-8"), owns_stream=True)
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Write one ``{"event": kind, ...fields}`` line."""
+        if self._stream is None:
+            raise ValueError("event log is closed")
+        record = {"event": kind}
+        record.update(fields)
+        self._stream.write(
+            json.dumps(record, sort_keys=True, default=repr) + "\n"
+        )
+        self.count += 1
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

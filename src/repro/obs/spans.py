@@ -1,0 +1,90 @@
+"""Virtual-time span tracing anchored to simulator ticks.
+
+A *span* is a named interval ``[start, end]`` of virtual time — the
+simulator's tick counter, never a wall clock — with a small set of
+labels (origin node, round number, …).  Protocols use spans to expose
+latency structure the closed forms in :mod:`repro.analysis.metrics`
+do not capture: how long each origin's flood took to certify, when a
+vote fired relative to the flood completing, how late the decide came.
+
+Because spans carry only virtual timestamps, they are part of the
+*content* of a run: two engines producing byte-identical traces must
+produce identical span lists (property-tested against the lockstep
+scheduler), and span data participates in the byte-identical-reports
+invariant of the sweep engine.  Wall-clock durations never belong
+here — they live in :mod:`repro.obs.timings`, quarantined from all
+determinism comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+def _canonical_labels(labels: Dict[str, object]) -> Dict[str, object]:
+    """Labels re-keyed in sorted order so snapshots are canonical."""
+    return {k: labels[k] for k in sorted(labels)}
+
+
+def _sort_key(span: dict) -> Tuple[str, str, int, int]:
+    return (span["name"], repr(span["labels"]), span["start"], span["end"])
+
+
+class SpanTracer:
+    """Records closed spans; optionally tracks open ones for nesting.
+
+    Two usage styles:
+
+    * :meth:`record` — the protocol already knows both endpoints
+      (it tracked the start tick in its own state) and reports the
+      finished interval in one call;
+    * :meth:`open` / :meth:`close` — token-based, for callers that
+      want the tracer to hold the start tick.  Tokens nest freely;
+      :attr:`depth` exposes the current open-span depth.
+
+    ``snapshot`` returns a canonically sorted list of plain dicts, so
+    equal span sets always serialize identically regardless of the
+    order they were recorded in.
+    """
+
+    def __init__(self) -> None:
+        self._spans: List[dict] = []
+        self._active: Dict[int, Tuple[str, int, Dict[str, object]]] = {}
+        self._next_token = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    @property
+    def depth(self) -> int:
+        """Number of currently open (un-closed) spans."""
+        return len(self._active)
+
+    def record(self, name: str, start: int, end: int, **labels: object) -> None:
+        """Record one finished span ``[start, end]`` in virtual ticks."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends at {end} before start {start}")
+        self._spans.append(
+            {
+                "name": name,
+                "start": int(start),
+                "end": int(end),
+                "labels": _canonical_labels(labels),
+            }
+        )
+
+    def open(self, name: str, at: int, **labels: object) -> int:
+        """Open a span at virtual tick ``at``; returns a close token."""
+        token = self._next_token
+        self._next_token += 1
+        self._active[token] = (name, int(at), _canonical_labels(labels))
+        return token
+
+    def close(self, token: int, at: int) -> None:
+        """Close the span behind ``token`` at virtual tick ``at``."""
+        name, start, labels = self._active.pop(token)
+        self.record(name, start, at, **labels)
+
+    def snapshot(self) -> List[dict]:
+        """All closed spans, canonically sorted."""
+        return sorted((dict(s) for s in self._spans), key=_sort_key)

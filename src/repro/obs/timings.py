@@ -1,0 +1,64 @@
+"""Quarantined wall-clock timing.
+
+This is the **only** module in the package that reads a wall clock,
+and it uses exactly the one entropy source the determinism lint
+exempts: ``time.perf_counter`` (REPRO002).  Everything measured here
+is real-machine noise — it varies run to run, machine to machine —
+so it must never enter the content sections of a report.  The sweep
+engine and the CLI place these numbers under a dedicated ``timings``
+key, and :func:`repro.obs.strip_timings` removes that key wholesale
+before any byte-identity comparison.
+
+The quarantine rule, stated once: **virtual time is content,
+wall-clock time is commentary.**
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+
+class Stopwatch:
+    """Elapsed wall seconds since construction (monotonic)."""
+
+    __slots__ = ("_started",)
+
+    def __init__(self) -> None:
+        self._started = perf_counter()
+
+    def elapsed(self) -> float:
+        return perf_counter() - self._started
+
+
+class WallTimings:
+    """Accumulates named wall-clock durations with call counts.
+
+    ``snapshot`` returns ``{name: {"seconds": total, "calls": n}}``
+    in sorted-name order — canonical in *shape* so diffs of two
+    timing sections line up, even though the values never will.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + 1
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager timing one block under ``name``."""
+        watch = Stopwatch()
+        try:
+            yield
+        finally:
+            self.add(name, watch.elapsed())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"seconds": self._seconds[name], "calls": self._calls[name]}
+            for name in sorted(self._seconds)
+        }

@@ -1,0 +1,125 @@
+"""Metered sweeps are deterministic content plus quarantined commentary.
+
+The contract: a metered sweep's canonical payload — records (each with
+its per-run metric snapshot), outcome tallies, and the merged registry —
+is *byte-identical* at any worker count, because records are slotted by
+task index and the merge folds them in slot order.  Wall-clock data
+exists only under ``timings`` keys, and ``strip_timings`` removes every
+one of them; un-metered sweeps keep their historical JSON shape exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import consensus_sweep
+from repro.analysis.metrics import expected_flood_deliveries
+from repro.consensus import algorithm2_factory, run_consensus
+from repro.graphs import wheel_graph
+from repro.obs import render_key, strip_timings
+
+PATTERNS = ["alternating", "split"]
+
+
+def metered_sweep(workers):
+    graph = wheel_graph(5)
+    return consensus_sweep(
+        graph,
+        algorithm2_factory(graph, 1),
+        f=1,
+        patterns=PATTERNS,
+        seed=7,
+        workers=workers,
+        metrics=True,
+    )
+
+
+class TestWorkerCountInvariance:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return {w: metered_sweep(w) for w in (1, 2, 4)}
+
+    def test_reports_byte_identical_minus_timings(self, reports):
+        canonical = {
+            w: json.dumps(
+                strip_timings(r.to_dict()), sort_keys=True, default=repr
+            )
+            for w, r in reports.items()
+        }
+        assert canonical[2] == canonical[1]
+        assert canonical[4] == canonical[1]
+
+    def test_outcomes_and_merge_come_from_slot_order(self, reports):
+        serial = reports[1]
+        for w in (2, 4):
+            assert reports[w].outcomes == serial.outcomes
+            assert reports[w].metrics == serial.metrics
+            assert [r.faulty for r in reports[w].records] == [
+                r.faulty for r in serial.records
+            ]
+
+    def test_every_record_carries_a_snapshot(self, reports):
+        for r in reports[1].records:
+            assert r.metrics is not None
+            assert r.metrics["counters"]
+
+    def test_merge_aggregates_match_records(self, reports):
+        report = reports[1]
+        assert report.metrics["runs"] == report.runs
+        assert report.metrics["counters"]["net.ticks"] == sum(
+            r.metrics["counters"]["net.ticks"] for r in report.records
+        )
+
+    def test_timings_populated_and_quarantined(self, reports):
+        for w, report in reports.items():
+            timings = report.timings
+            assert timings["workers"] == w
+            assert timings["total_s"] > 0
+            assert len(timings["tasks_s"]) == report.runs
+            assert 0 < timings["utilization"] <= 1.0
+            assert "timings" not in strip_timings(report.to_dict())
+
+
+class TestUnmeteredShape:
+    def test_unmetered_report_keeps_historical_shape(self):
+        graph = wheel_graph(5)
+        report = consensus_sweep(
+            graph,
+            algorithm2_factory(graph, 1),
+            f=1,
+            patterns=["alternating"],
+            seed=7,
+        )
+        assert report.metrics is None
+        assert report.timings is None
+        payload = report.to_dict()
+        assert "metrics" not in payload
+        assert "timings" not in payload
+        assert all("metrics" not in r for r in payload["records"])
+
+
+class TestClosedForms:
+    """Instrumentation lines up with ``analysis.metrics`` closed forms."""
+
+    def test_phase1_accepted_matches_simple_path_count(self):
+        graph = wheel_graph(5)
+        inputs = {v: i % 2 for i, v in enumerate(sorted(graph.nodes))}
+        result = run_consensus(
+            graph, algorithm2_factory(graph, 1), inputs, f=1, metrics=True
+        )
+        assert result.consensus
+        accepted = result.metrics["counters"][
+            render_key("flood.accepted", {"phase": ("efficient", 1)})
+        ]
+        # Every delivery in a fault-free flood is one accepted simple
+        # path; the n trivial own-paths are not deliveries.
+        assert accepted == expected_flood_deliveries(graph) - graph.n
+
+    def test_rounds_within_3n_budget(self):
+        graph = wheel_graph(5)
+        inputs = {v: i % 2 for i, v in enumerate(sorted(graph.nodes))}
+        result = run_consensus(
+            graph, algorithm2_factory(graph, 1), inputs, f=1, metrics=True
+        )
+        assert result.rounds <= 3 * graph.n
+        assert result.metrics["counters"]["net.ticks"] == result.rounds

@@ -190,3 +190,39 @@ class TestSharing:
         assert shared.honest_outputs == fresh.honest_outputs
         assert shared.rounds == fresh.rounds
         assert shared.transmissions == fresh.transmissions
+
+
+class TestObsCounters:
+    """The hit/miss tallies live on an obs registry; ``hits``/``misses``
+    are property shims over the labeled counters, split by query kind."""
+
+    def test_shims_sum_the_labeled_counters(self):
+        graph = petersen_graph()
+        oracle = PathOracle(graph)
+        oracle.path_excluding(0, 2, frozenset())       # path miss
+        oracle.path_excluding(0, 2, frozenset())       # path hit
+        oracle.disjoint_paths_excluding([0, 1], 2, frozenset(), 2)  # packing miss
+        assert oracle.metrics.counter("oracle.misses", kind="path") == 1
+        assert oracle.metrics.counter("oracle.hits", kind="path") == 1
+        assert oracle.metrics.counter("oracle.misses", kind="packing") == 1
+        assert oracle.hits == 1
+        assert oracle.misses == 2
+        assert oracle.cache_info()["hits"] == oracle.hits
+        assert oracle.cache_info()["misses"] == oracle.misses
+
+    def test_snapshot_keys_are_canonical(self):
+        graph = cycle_graph(5)
+        oracle = PathOracle(graph)
+        oracle.path_excluding(0, 2, frozenset())
+        counters = oracle.metrics.snapshot()["counters"]
+        assert counters == {"oracle.misses{kind=path}": 1}
+
+    def test_warm_shipped_oracle_starts_with_zeroed_registry(self):
+        graph = petersen_graph()
+        oracle = PathOracle(graph)
+        for _ in range(3):
+            oracle.path_excluding(0, 2, frozenset({4}))
+        clone = pickle.loads(pickle.dumps(oracle))
+        # Memos travel; the per-process registry does not.
+        assert clone.metrics.snapshot()["counters"] == {}
+        assert clone.hits == 0 and clone.misses == 0

@@ -1,0 +1,257 @@
+"""Unit tests for the observability core: registry, spans, events,
+timings, bench records.
+
+The load-bearing properties: snapshots are *canonical* (fully sorted,
+insertion-order independent), merges are lossless and order-insensitive,
+``NULL_METRICS`` is a true no-op, and the wall-clock quarantine
+(``strip_timings``) removes every ``"timings"`` section wherever it
+hides.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    EventLog,
+    MetricsRegistry,
+    NullMetrics,
+    SpanTracer,
+    Stopwatch,
+    WallTimings,
+    bench_json,
+    bench_record,
+    check,
+    merge_snapshots,
+    render_key,
+    strip_timings,
+    write_bench,
+)
+
+
+class TestRenderKey:
+    def test_plain_name(self):
+        assert render_key("net.ticks", {}) == "net.ticks"
+
+    def test_labels_sorted(self):
+        assert render_key("x", {"b": 1, "a": 2}) == "x{a=2,b=1}"
+
+    def test_non_string_values_use_repr(self):
+        key = render_key("flood.accepted", {"phase": ("efficient", 1)})
+        assert key == "flood.accepted{phase=('efficient', 1)}"
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.inc("hits")
+        m.inc("hits", 2)
+        m.inc("hits", kind="path")
+        assert m.counter("hits") == 3
+        assert m.counter("hits", kind="path") == 1
+        assert m.counter("absent") == 0
+
+    def test_gauge_keeps_max(self):
+        m = MetricsRegistry()
+        m.gauge_max("depth", 3)
+        m.gauge_max("depth", 7)
+        m.gauge_max("depth", 5)
+        assert m.snapshot()["gauges"] == {"depth": 7}
+
+    def test_histogram_snapshot_is_lossless(self):
+        m = MetricsRegistry()
+        for v in (3, 1, 3, 2):
+            m.observe("delay", v)
+        hist = m.snapshot()["histograms"]["delay"]
+        assert hist == {
+            "count": 4,
+            "sum": 9,
+            "min": 1,
+            "max": 3,
+            "values": [[1, 1], [2, 1], [3, 2]],
+        }
+
+    def test_snapshot_is_insertion_order_independent(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.inc("x")
+        a.inc("y")
+        b.inc("y")
+        b.inc("x")
+        assert a.snapshot() == b.snapshot()
+        assert list(a.snapshot()["counters"]) == ["x", "y"]
+
+    def test_snapshot_includes_spans(self):
+        m = MetricsRegistry()
+        m.span("phase", 1, 4, node=0)
+        snap = m.snapshot()
+        assert snap["spans"] == [
+            {"name": "phase", "start": 1, "end": 4, "labels": {"node": 0}}
+        ]
+
+    def test_enabled_flag(self):
+        assert MetricsRegistry().enabled is True
+        assert NULL_METRICS.enabled is False
+
+
+class TestNullMetrics:
+    def test_all_operations_are_noops(self):
+        n = NullMetrics()
+        n.inc("x")
+        n.gauge_max("g", 5)
+        n.observe("h", 1)
+        n.span("s", 0, 1)
+        n.emit("e", value=1)
+        assert n.counter("x") == 0
+        assert n.snapshot() == {}
+
+    def test_singleton_is_shared_default(self):
+        assert isinstance(NULL_METRICS, NullMetrics)
+
+
+class TestMerge:
+    def _one(self, seed):
+        m = MetricsRegistry()
+        m.inc("runs.c", seed)
+        m.gauge_max("g", seed)
+        m.observe("h", seed)
+        m.span("work", 0, seed)
+        return m.snapshot()
+
+    def test_merge_sums_counters_and_maxes_gauges(self):
+        merged = merge_snapshots([self._one(1), self._one(3)])
+        assert merged["runs"] == 2
+        assert merged["counters"]["runs.c"] == 4
+        assert merged["gauges"]["g"] == 3
+
+    def test_merge_unions_histograms(self):
+        merged = merge_snapshots([self._one(1), self._one(3), self._one(1)])
+        assert merged["histograms"]["h"] == {
+            "count": 3,
+            "sum": 5,
+            "min": 1,
+            "max": 3,
+            "values": [[1, 2], [3, 1]],
+        }
+
+    def test_merge_folds_spans_into_duration_histograms(self):
+        merged = merge_snapshots([self._one(2), self._one(5)])
+        spans = merged["histograms"]["span.work.ticks"]
+        assert spans["count"] == 2
+        assert spans["values"] == [[2, 1], [5, 1]]
+
+    def test_merge_is_order_insensitive(self):
+        parts = [self._one(s) for s in (4, 1, 2)]
+        assert merge_snapshots(parts) == merge_snapshots(parts[::-1])
+
+
+class TestStripTimings:
+    def test_removes_nested_timings_keys(self):
+        payload = {
+            "metrics": {"counters": {"x": 1}},
+            "timings": {"total_s": 0.5},
+            "records": [
+                {"rounds": 3, "timings": {"seconds": 0.1}},
+                {"rounds": 4},
+            ],
+        }
+        stripped = strip_timings(payload)
+        assert "timings" not in stripped
+        assert all("timings" not in r for r in stripped["records"])
+        assert stripped["records"][0]["rounds"] == 3
+
+    def test_does_not_mutate_input(self):
+        payload = {"timings": {"t": 1}, "keep": 2}
+        strip_timings(payload)
+        assert "timings" in payload
+
+
+class TestSpanTracer:
+    def test_record_and_canonical_order(self):
+        t = SpanTracer()
+        t.record("b", 5, 9)
+        t.record("a", 2, 3, node=1)
+        snap = t.snapshot()
+        assert [s["name"] for s in snap] == ["a", "b"]
+        assert snap[0]["labels"] == {"node": 1}
+
+    def test_open_close_nesting(self):
+        t = SpanTracer()
+        outer = t.open("outer", at=0)
+        inner = t.open("inner", at=1)
+        assert t.depth == 2
+        t.close(inner, at=2)
+        t.close(outer, at=5)
+        assert t.depth == 0
+        assert len(t) == 2
+        ends = {s["name"]: s["end"] for s in t.snapshot()}
+        assert ends == {"inner": 2, "outer": 5}
+
+    def test_negative_duration_rejected(self):
+        t = SpanTracer()
+        with pytest.raises(ValueError):
+            t.record("bad", 5, 3)
+
+
+class TestEventLog:
+    def test_emits_sorted_ndjson_lines(self):
+        stream = io.StringIO()
+        log = EventLog(stream)
+        log.emit("tick", tick=1, sends=5)
+        log.emit("decide", node=0, value=("a", 1))
+        lines = stream.getvalue().splitlines()
+        assert json.loads(lines[0]) == {"event": "tick", "sends": 5, "tick": 1}
+        # Non-JSON values fall back to repr — deterministic, not lossy.
+        assert json.loads(lines[1])["value"] == [u"a", 1]
+        assert log.count == 2
+
+    def test_closed_log_refuses_emits(self):
+        log = EventLog(io.StringIO())
+        log.close()
+        with pytest.raises(ValueError):
+            log.emit("late")
+
+    def test_registry_forwards_events(self):
+        stream = io.StringIO()
+        m = MetricsRegistry(events=EventLog(stream))
+        m.emit("custom", x=1)
+        m.span("s", 0, 2)
+        kinds = [json.loads(l)["event"] for l in stream.getvalue().splitlines()]
+        assert kinds == ["custom", "span"]
+
+
+class TestTimings:
+    def test_stopwatch_elapsed_is_nonnegative(self):
+        watch = Stopwatch()
+        assert watch.elapsed() >= 0.0
+
+    def test_walltimings_accumulates_calls(self):
+        t = WallTimings()
+        with t.time("step"):
+            pass
+        with t.time("step"):
+            pass
+        snap = t.snapshot()
+        assert snap["step"]["calls"] == 2
+        assert snap["step"]["seconds"] >= 0.0
+
+
+class TestBench:
+    def test_check_rows(self):
+        assert check("n", 5, 5)["ok"] is True
+        assert check("n", 5, 6)["ok"] is False
+
+    def test_record_shape_and_canonical_json(self):
+        record = bench_record("demo", spec={"f": 1}, checks=[check("a", 1, 1)])
+        assert record["bench"] == "demo"
+        assert record["schema"] == 1
+        parsed = json.loads(bench_json(record))
+        assert parsed["spec"] == {"f": 1}
+
+    def test_write_bench_names_file(self, tmp_path):
+        record = bench_record("demo", spec={})
+        path = write_bench(record, tmp_path)
+        assert path.name == "BENCH_demo.json"
+        assert json.loads(path.read_text())["bench"] == "demo"

@@ -1,5 +1,7 @@
 """The command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main, parse_graph
@@ -316,3 +318,88 @@ class TestRandomGraphSpecs:
         assert parse_graph("gnp:12") == gnp_supercritical_graph(12, 2.0, 0)
         assert parse_graph("gnp:12:2.5:9") == gnp_supercritical_graph(12, 2.5, 9)
         assert parse_graph("gnp_supercritical:12:2.5:9") == parse_graph("gnp:12:2.5:9")
+
+
+class TestMetricsFlags:
+    def test_run_metrics_to_stdout(self, capsys):
+        code = main(["run", "--graph", "cycle:4", "--f", "1",
+                     "--algorithm", "2", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # The snapshot is the pretty-printed JSON block after the
+        # summary lines (which also contain braces).
+        payload = json.loads(out[out.index("\n{") :])
+        assert payload["metrics"]["counters"]["net.ticks"] > 0
+        assert "run" in payload["timings"]
+
+    def test_run_metrics_to_file_and_events(self, tmp_path, capsys):
+        metrics_file = tmp_path / "m.json"
+        events_file = tmp_path / "e.ndjson"
+        code = main(["run", "--graph", "cycle:4", "--f", "1",
+                     "--algorithm", "2",
+                     "--metrics", str(metrics_file),
+                     "--events", str(events_file)])
+        assert code == 0
+        payload = json.loads(metrics_file.read_text())
+        assert payload["metrics"]["counters"]["net.ticks"] > 0
+        lines = events_file.read_text().splitlines()
+        kinds = [json.loads(line)["event"] for line in lines]
+        assert kinds[0] == "tick"
+        assert kinds[-1] == "result"
+
+    def test_unmetered_run_prints_no_snapshot(self, capsys):
+        assert main(["run", "--graph", "cycle:4", "--f", "1",
+                     "--algorithm", "2"]) == 0
+        assert '"metrics"' not in capsys.readouterr().out
+
+    def test_sweep_metrics_embedded_and_sidefile(self, tmp_path, capsys):
+        metrics_file = tmp_path / "merged.json"
+        report_file = tmp_path / "report.json"
+        code = main(["sweep", "--graph", "cycle:4", "--f", "1",
+                     "--algorithm", "2", "--patterns", "alternating",
+                     "--metrics", str(metrics_file),
+                     "--output", str(report_file)])
+        assert code == 0
+        report = json.loads(report_file.read_text())
+        assert report["metrics"]["runs"] == report["runs"]
+        assert report["timings"]["workers"] == 1
+        merged = json.loads(metrics_file.read_text())
+        assert merged["metrics"] == report["metrics"]
+
+    def test_sweep_events_are_slot_ordered(self, tmp_path, capsys):
+        events_file = tmp_path / "sweep.ndjson"
+        code = main(["sweep", "--graph", "cycle:4", "--f", "1",
+                     "--algorithm", "2", "--patterns", "alternating",
+                     "--workers", "2", "--events", str(events_file)])
+        assert code == 0
+        lines = [json.loads(line)
+                 for line in events_file.read_text().splitlines()]
+        records = [e for e in lines if e["event"] == "record"]
+        assert [e["index"] for e in records] == list(range(len(records)))
+        assert lines[-1]["event"] == "summary"
+        assert lines[-1]["runs"] == len(records)
+
+
+class TestProfileCommand:
+    def test_profile_checks_pass_and_bench_written(self, tmp_path, capsys):
+        out_file = tmp_path / "BENCH_test.json"
+        code = main(["profile", "--graph", "wheel:5", "--f", "1",
+                     "--algorithm", "2", "--name", "test",
+                     "--output", str(out_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase1_flood_accepted" in out
+        assert "FAIL" not in out
+        record = json.loads(out_file.read_text())
+        assert record["bench"] == "test"
+        assert all(c["ok"] for c in record["checks"])
+        expected = record["predictions"]["expected_flood_deliveries"]
+        accepted = next(c for c in record["checks"]
+                        if c["name"] == "phase1_flood_accepted")
+        assert accepted["actual"] == expected - record["spec"]["n"]
+
+    def test_profile_async_has_no_round_checks(self, capsys):
+        code = main(["profile", "--graph", "wheel:5", "--f", "1",
+                     "--algorithm", "async", "--fault-limit", "2"])
+        assert code == 0
+        assert "round_budget" not in capsys.readouterr().out
