@@ -124,6 +124,9 @@ def test_parallel_sweep_identical_and_scales(benchmark):
             "speedup": {
                 f"w{w}": walls[1] / walls[w] for w in WORKER_COUNTS
             },
+            # The one number the perf regression gate compares across
+            # commits: all three sweeps end to end, in seconds.
+            "total": sum(walls[w] for w in WORKER_COUNTS),
         },
     ))
     # Correctness claim holds on any hardware: identical reports.

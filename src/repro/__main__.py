@@ -418,6 +418,119 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if report.all_consensus else 1
 
 
+def _profile_flood_receipt(args: argparse.Namespace) -> int:
+    """``profile --flood-receipt``: one analytic fault-free flood plus
+    reliable receipt at a single receiver.
+
+    No simulator: the prefix-sharing :class:`~repro.consensus.path_engine
+    .PathFloodEngine` materializes every delivery at the receiver
+    directly, then Definition C.1 is evaluated for every origin over the
+    per-origin delivery slices.  This is the harness that exercises the
+    bitmask path-set core at scales the round simulator cannot touch
+    (``wheel:99`` completes in seconds); on wheel graphs the delivery
+    count is checked against the closed form of
+    :func:`~repro.analysis.metrics.expected_wheel_deliveries_at_rim`.
+    """
+    from time import perf_counter
+
+    from .analysis.metrics import expected_wheel_deliveries_at_rim
+    from .consensus.path_engine import NodeBehavior, PathFloodEngine
+    from .consensus.reliable import reliable_payload
+    from .obs import MetricsRegistry, bench_json, bench_record, check
+
+    graph = parse_graph(args.graph)
+    nodes = sorted(graph.nodes, key=repr)
+    inputs = {v: i % 2 for i, v in enumerate(nodes)}
+    metrics = MetricsRegistry()
+    engine = PathFloodEngine(
+        graph,
+        {v: NodeBehavior.honest(inputs[v]) for v in nodes},
+        metrics=metrics,
+    )
+    # Deterministic receiver choice; for wheel:N (hub 0, rim 1..N-1)
+    # this is always a rim node, which the closed form assumes.
+    receiver = nodes[-1]
+    t0 = perf_counter()
+    deliveries = engine.deliveries_at(receiver)
+    flood_s = perf_counter() - t0
+
+    # One pass splits the delivery set per origin and records each
+    # path's visited-set bitmask — the receipt layer then never scans
+    # the full dict and packs disjointness over plain ints.
+    index = graph.node_index()
+    by_origin: dict = {}
+    path_masks: dict = {}
+    t0 = perf_counter()
+    for path, value in deliveries.items():
+        by_origin.setdefault(path[0], {})[path] = value
+        path_masks[path] = index.mask_of(path)
+    received: dict = {}
+    for origin in nodes:
+        payload = reliable_payload(
+            graph,
+            args.f,
+            receiver,
+            by_origin.get(origin, {}),
+            origin,
+            metrics=metrics,
+            path_mask=path_masks.__getitem__,
+        )
+        if payload is not None:
+            received[origin] = payload
+    receipt_s = perf_counter() - t0
+
+    checks = [
+        check("reliable_origins", graph.n, len(received)),
+        check(
+            "reliable_values_match_inputs",
+            True,
+            all(received.get(v) == inputs[v] for v in nodes),
+        ),
+    ]
+    predictions = {"n": graph.n, "f": args.f}
+    if args.graph.startswith("wheel:"):
+        expected = expected_wheel_deliveries_at_rim(graph.n - 1)
+        predictions["expected_deliveries"] = expected
+        checks.append(check("flood_deliveries", expected, len(deliveries)))
+
+    timings = {
+        "flood": flood_s,
+        "receipt": receipt_s,
+        "total": flood_s + receipt_s,
+    }
+    record = bench_record(
+        args.name or "profile_flood_receipt",
+        spec={
+            "graph": args.graph,
+            "n": graph.n,
+            "f": args.f,
+            "mode": "flood-receipt",
+            "receiver": receiver,
+        },
+        predictions=predictions,
+        measured={
+            "deliveries": len(deliveries),
+            "reliable_origins": len(received),
+        },
+        checks=checks,
+        metrics=metrics.snapshot(),
+        timings=timings,
+    )
+    print(f"profile: flood+receipt on {args.graph} "
+          f"(n={graph.n}, f={args.f}, receiver={receiver!r})")
+    print(f"  flood   deliveries={len(deliveries)} in {flood_s:.3f}s")
+    print(f"  receipt origins={len(received)}/{graph.n} in {receipt_s:.3f}s")
+    for entry in checks:
+        verdict = "ok" if entry["ok"] else "FAIL"
+        print(f"  check   {entry['name']}: expected={entry['expected']} "
+              f"actual={entry['actual']} {verdict}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(bench_json(record) + "\n")
+        print(f"wrote bench record to {args.output}")
+    return 0 if all(entry["ok"] for entry in checks) else 1
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Metered fault-free run + metered sweep, checked against the
     closed forms of :mod:`repro.analysis.metrics`.
@@ -430,6 +543,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from .analysis.metrics import expected_flood_deliveries, predicted_costs
     from .obs import bench_json, bench_record, check, render_key
 
+    if args.flood_receipt:
+        return _profile_flood_receipt(args)
     graph = parse_graph(args.graph)
     factory = build_factory(args, graph)
     nodes = sorted(graph.nodes, key=repr)
@@ -477,7 +592,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
             check("phase1_flood_accepted", flood_total - graph.n, accepted)
         )
 
-    timings = {"run": result.timings, "sweep": report.timings}
+    timings = {
+        "run": result.timings,
+        "sweep": report.timings,
+        # The one number the perf regression gate compares across
+        # commits: fault-free run + whole sweep, in seconds.
+        "total": (result.timings.get("run", {}).get("seconds", 0.0)
+                  + (report.timings or {}).get("total_s", 0.0)),
+    }
     record = bench_record(
         args.name or f"profile_alg{args.algorithm}",
         spec={
@@ -690,6 +812,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bench record name (default profile_alg<N>)")
     p.add_argument("--output", default="",
                    help="write the BENCH record JSON to this path")
+    p.add_argument("--flood-receipt", action="store_true",
+                   help="profile one analytic flood (prefix-sharing "
+                        "path engine) plus reliable receipt at a single "
+                        "receiver instead of a simulated run — scales "
+                        "to graphs far beyond the simulator (e.g. "
+                        "wheel:99); on wheels the delivery count is "
+                        "checked against the closed form")
     p.set_defaults(fn=cmd_profile, synchronizer="none")
 
     p = sub.add_parser(

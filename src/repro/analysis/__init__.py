@@ -3,6 +3,7 @@
 from .metrics import (
     CostModel,
     expected_flood_deliveries,
+    expected_wheel_deliveries_at_rim,
     phase_count_table,
     predicted_costs,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "consensus_sweep",
     "equivocation_price",
     "expected_flood_deliveries",
+    "expected_wheel_deliveries_at_rim",
     "fault_subsets",
     "feasibility_matrix",
     "hybrid_tradeoff_table",

@@ -70,6 +70,37 @@ def expected_flood_deliveries(graph: Graph) -> int:
     return total
 
 
+def expected_wheel_deliveries_at_rim(m: int) -> int:
+    """Fault-free flood deliveries at one *rim* node of the wheel with
+    ``m`` rim nodes (``wheel_graph(m + 1)``): the trivial own path plus
+    one delivery per simple path from every other node.
+
+    Closed form (receiver ``v`` on the rim, hub ``h``): the hub reaches
+    ``v`` directly, via either arc to any of the ``m − 1`` other rim
+    nodes' spokes... — enumerated by where each path leaves the rim for
+    the hub (if at all).  ``2m − 1`` paths originate at the hub; a rim
+    origin at rim-distance ``d`` from ``v`` contributes
+
+    * 2 pure-rim paths (one per arc),
+    * ``m − 1`` paths hopping straight to the hub and descending,
+    * one path per proper rim-walk before or after the hub hop
+      (``Σ_{t<m−d} (m−1−t) + Σ_{s<d} (m−1−s)``).
+
+    Validated against :func:`count_simple_paths` for every wheel up to
+    nine nodes; used by the ``--flood-receipt`` profile as the
+    delivery-count check on wheels too large to cross-enumerate.
+    """
+    if m < 3:
+        raise ValueError("a wheel needs at least three rim nodes")
+    total = 1 + (2 * m - 1)
+    for d in range(1, m):
+        count = 2 + (m - 1)
+        count += sum((m - 1 - t) for t in range(1, m - d))
+        count += sum((m - 1 - s) for s in range(1, d))
+        total += count
+    return total
+
+
 def phase_count_table(n: int, max_f: int) -> Dict[int, int]:
     """``f → Σ_{k ≤ f} C(n, k)`` — how fast Algorithm 1's phase count
     explodes on an ``n``-node graph."""

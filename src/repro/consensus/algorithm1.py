@@ -28,7 +28,7 @@ from itertools import combinations
 from math import comb
 from typing import FrozenSet, Hashable, List, Optional, Tuple
 
-from ..graphs import Graph, has_disjoint_path_packing, path_excludes
+from ..graphs import Graph, has_disjoint_mask_packing
 from ..net.messages import ValuePayload
 from ..net.node import Context, Protocol
 from .flooding import FloodInstance, flood_rounds
@@ -111,6 +111,9 @@ class ExactConsensusProtocol(Protocol):
         self.total_rounds = len(self.pairs) * self.rounds_per_phase
         self._flood: Optional[FloodInstance] = None
         self._output: Optional[int] = None
+        # Step (b) orderings per equivocating set (one entry when t = 0):
+        # (considered, repr-sorted considered, sorted considered - me).
+        self._step_b_order: dict = {}
         # Diagnostics for the proof-invariant tests (Lemmas 5.2/5.3).
         self.gamma_history: List[int] = [input_value]
 
@@ -119,8 +122,8 @@ class ExactConsensusProtocol(Protocol):
         r = ctx.round_no
         if r > self.total_rounds:
             return
-        phase_idx = (r - 1) // self.rounds_per_phase
-        within = (r - 1) % self.rounds_per_phase + 1
+        phase_idx, within = divmod(r - 1, self.rounds_per_phase)
+        within += 1
         if within == 1:
             self._flood = FloodInstance(
                 self.graph,
@@ -151,7 +154,9 @@ class ExactConsensusProtocol(Protocol):
     # ------------------------------------------------------------------
     def _finish_phase(self, phase_idx: int) -> None:
         fault_set, equiv_set = self.pairs[phase_idx]
-        excluded = fault_set | equiv_set
+        # One frozenset per phase: the oracle keys on it, and a shared
+        # object hashes once (frozensets cache their hash).
+        excluded = frozenset(fault_set | equiv_set)
         assert self._flood is not None
         delivered = self._flood.delivered
         phi = self.f - len(equiv_set)
@@ -161,13 +166,25 @@ class ExactConsensusProtocol(Protocol):
         # dropped the message) reads as the default value 1, consistent
         # with Z_v := {u | 0 was received along P_uv}.
         z_set: set[Hashable] = set()
-        considered = self.graph.nodes - equiv_set
-        for u in sorted(considered, key=repr):
-            if u == self.me:
-                payload = delivered.get((self.me,))
+        me = self.me
+        cached = self._step_b_order.get(equiv_set)
+        if cached is None:
+            considered = self.graph.nodes - equiv_set
+            ordered = sorted(considered, key=repr)
+            cached = (considered, ordered, [u for u in ordered if u != me])
+            self._step_b_order[equiv_set] = cached
+        considered, ordered, sources = cached
+        # One batched oracle query per phase: every u shares the same
+        # excluded set and target, so the key prefix renders once (the
+        # answers and memo traffic equal the per-u loop it replaces).
+        paths = iter(self.oracle.paths_excluding_many(sources, me, excluded))
+        delivered_get = delivered.get
+        for u in ordered:
+            if u == me:
+                payload = delivered_get((me,))
             else:
-                path = self._path_excluding(u, excluded)
-                payload = delivered.get(path) if path is not None else None
+                path = next(paths)
+                payload = delivered_get(path) if path is not None else None
             value = payload.value if isinstance(payload, ValuePayload) else 1
             if value == 0:
                 z_set.add(u)
@@ -193,20 +210,33 @@ class ExactConsensusProtocol(Protocol):
         # arbitrary-but-deterministic tie-break; Lemma 5.2 holds for
         # either δ that passes (each passing δ is some honest node's
         # start-of-phase state).
+        #
+        # Candidates come from the flood's per-origin sub-index (one
+        # origin of A_v at a time instead of scanning all of
+        # ``delivered``), and both "excludes F ∪ T" and Uv-disjointness
+        # run on the recorded visited-set bitmasks: a path excludes the
+        # candidate set iff its internal mask misses ``excl_mask``, and
+        # mode="set" disjointness is pairwise AND over everything-but-me
+        # masks.  Packing is existence-only, so the per-origin candidate
+        # order is immaterial.
+        index = self.graph.node_index()
+        path_mask = self._flood.path_mask
+        me_bit = 1 << index.index_of[self.me]
+        excl_mask = index.mask_of(excluded)
         for delta in (0, 1):
-            candidates = [
-                p
-                # repro: allow[REPRO001] delivered's insertion order is the
-                # deterministic flood-processing order; the consumer only
-                # checks packing *existence* (order-insensitive).
-                for p, payload in delivered.items()
-                if len(p) >= 2
-                and p[0] in a_set
-                and isinstance(payload, ValuePayload)
-                and payload.value == delta
-                and path_excludes(p, excluded)
-            ]
-            if has_disjoint_path_packing(candidates, self.f + 1, mode="set"):
+            masks: List[int] = []
+            for origin in sorted(a_set, key=repr):
+                ends = (1 << index.index_of[origin]) | me_bit
+                for p, payload in self._flood.origin_view(origin).items():  # repro: allow[REPRO001] insertion-ordered by the deterministic flood; packing is existence-only
+                    if (
+                        len(p) >= 2
+                        and isinstance(payload, ValuePayload)
+                        and payload.value == delta
+                    ):
+                        full = path_mask(p)
+                        if full & ~ends & excl_mask == 0:
+                            masks.append(full & ~me_bit)
+            if has_disjoint_mask_packing(masks, self.f + 1):
                 self.gamma = delta
                 return
 
@@ -223,7 +253,9 @@ class ExactConsensusProtocol(Protocol):
         pruned graph and BFS tree for each candidate set are computed once
         per graph rather than once per node per phase.
         """
-        return self.oracle.path_excluding(u, self.me, frozenset(excluded))
+        if not isinstance(excluded, frozenset):
+            excluded = frozenset(excluded)
+        return self.oracle.path_excluding(u, self.me, excluded)
 
 
 class Algorithm1Protocol(ExactConsensusProtocol):

@@ -32,6 +32,7 @@ from ..net.messages import DecisionPayload, ValuePayload
 from ..net.node import Context, Protocol
 from ..obs import NULL_METRICS
 from .flooding import FloodInstance
+from .path_oracle import PathOracle
 from .reliable import ClaimIndex, ReportBundle, detect_faults, reliable_value
 
 PathTuple = Tuple[Hashable, ...]
@@ -51,10 +52,17 @@ class Algorithm2Protocol(Protocol):
     PHASE2 = ("efficient", 2)
     PHASE3 = ("efficient", 3)
 
-    def __init__(self, graph: Graph, node: Hashable, f: int, input_value: int):
+    def __init__(self, graph: Graph, node: Hashable, f: int, input_value: int,
+                 oracle: Optional[PathOracle] = None):
         if input_value not in (0, 1):
             raise ValueError("binary input expected")
+        if oracle is not None and oracle.graph != graph:
+            raise ValueError("oracle was built for a different graph")
         self.graph = graph
+        # One oracle is typically shared by every instance on this graph
+        # (the factory does that): phase-2 fault localization asks for
+        # the same per-pair disjoint-path families at every node.
+        self.oracle = oracle if oracle is not None else PathOracle(graph)
         self.me = node
         self.f = f
         self.input_value = input_value
@@ -160,13 +168,17 @@ class Algorithm2Protocol(Protocol):
     def _conclude_phase2(self) -> None:
         assert self._flood1 is not None and self._flood2 is not None
         for origin in sorted(self.graph.nodes, key=repr):
+            # The flood's per-origin sub-index is exactly the slice of
+            # ``delivered`` the certificate for ``origin`` can use, and
+            # its recorded visited masks feed the disjointness packing.
             value = reliable_value(
                 self.graph,
                 self.f,
                 self.me,
-                self._flood1.delivered,
+                self._flood1.origin_view(origin),
                 origin,
                 metrics=self._metrics,
+                path_mask=self._flood1.path_mask,
             )
             if value is not None:
                 self.reliable_values[origin] = value
@@ -197,6 +209,7 @@ class Algorithm2Protocol(Protocol):
             claims,
             phase1_tag=self.PHASE1,
             first_round=1,
+            oracle=self.oracle,
         )
         self.node_type = "A" if len(self.detected) == self.f else "B"
         self._metrics.inc("alg2.node_type", type=self.node_type)
@@ -256,15 +269,28 @@ class Algorithm2Factory:
     """Picklable honest-protocol factory: ``(node, input) → protocol``.
 
     A plain class rather than a closure so the parallel sweep engine can
-    ship it to worker processes.
+    ship it to worker processes.  All instances it creates share one
+    :class:`PathOracle`, so the per-pair disjoint-path families phase-2
+    fault localization walks are computed once per graph — not once per
+    (node, run, pair).  The oracle keeps shipping cheap by pickling only
+    its structural memos (see :meth:`PathOracle.__reduce__`), so sweep
+    workers start warm.
     """
 
     def __init__(self, graph: Graph, f: int):
         self.graph = graph
         self.f = f
+        self.oracle = PathOracle(graph)
 
     def __call__(self, node: Hashable, input_value: int) -> Algorithm2Protocol:
-        return Algorithm2Protocol(self.graph, node, self.f, input_value)
+        return Algorithm2Protocol(
+            self.graph, node, self.f, input_value, oracle=self.oracle
+        )
+
+    def __reduce__(self):
+        # The state dict carries the (warm) oracle across the process
+        # boundary; its own __reduce__ ships just the structural memos.
+        return (type(self), (self.graph, self.f), {"oracle": self.oracle})
 
 
 def algorithm2_factory(graph: Graph, f: int) -> Algorithm2Factory:

@@ -83,7 +83,7 @@ from ..obs import NULL_METRICS
 from .algorithm2 import majority
 from .flooding import FloodInstance
 from .path_oracle import PathOracle
-from .reliable import reliable_payload
+from .reliable import ReceiptTracker
 
 #: Flood phase tags.  Vote rounds each get their own tag (and therefore
 #: their own rule-(ii) slot space): ``("async", "vote", r)``.
@@ -158,6 +158,18 @@ class AsyncConsensusProtocol(Protocol):
         self._decides = FloodInstance(
             graph, node, DECIDE_PHASE, default_payload=None,
             validator=self._valid_decision,
+        )
+        # Incremental Definition C.1 per flood: the refresh loops re-ask
+        # about every unresolved origin after each productive round, and
+        # the trackers skip origins whose delivered path set didn't grow
+        # (verdicts are a pure function of the per-origin view, so the
+        # tables below are unchanged — only redundant packing work goes).
+        self._values_receipt = ReceiptTracker(
+            graph, f, node, self._values, oracle=self.oracle
+        )
+        self._votes_receipt: Dict[int, ReceiptTracker] = {}
+        self._decides_receipt = ReceiptTracker(
+            graph, f, node, self._decides, oracle=self.oracle
         )
         #: origin → reliably received input value (monotone, and by
         #: single-valuedness a subset of one global table).
@@ -267,9 +279,8 @@ class AsyncConsensusProtocol(Protocol):
     # ------------------------------------------------------------------
     def _refresh_values(self) -> None:
         for origin in sorted(self.graph.nodes - self.reliable_values.keys(), key=repr):
-            payload = reliable_payload(
-                self.graph, self.f, self.me, self._values.delivered,
-                origin, oracle=self.oracle, metrics=self._metrics,
+            payload = self._values_receipt.payload_from(
+                origin, metrics=self._metrics
             )
             if isinstance(payload, ValuePayload):
                 self.reliable_values[origin] = payload.value
@@ -282,20 +293,21 @@ class AsyncConsensusProtocol(Protocol):
 
     def _refresh_votes(self, round_no: int) -> None:
         tally = self.vote_tallies.setdefault(round_no, {})
-        delivered = self._votes[round_no].delivered
-        for origin in sorted(self.graph.nodes - tally.keys(), key=repr):
-            payload = reliable_payload(
-                self.graph, self.f, self.me, delivered, origin,
-                oracle=self.oracle, metrics=self._metrics,
+        tracker = self._votes_receipt.get(round_no)
+        if tracker is None:
+            tracker = self._votes_receipt[round_no] = ReceiptTracker(
+                self.graph, self.f, self.me, self._votes[round_no],
+                oracle=self.oracle,
             )
+        for origin in sorted(self.graph.nodes - tally.keys(), key=repr):
+            payload = tracker.payload_from(origin, metrics=self._metrics)
             if isinstance(payload, VotePayload):
                 tally[origin] = payload.value
 
     def _refresh_decisions(self) -> None:
         for origin in sorted(self.graph.nodes - self.decisions_seen.keys(), key=repr):
-            payload = reliable_payload(
-                self.graph, self.f, self.me, self._decides.delivered,
-                origin, oracle=self.oracle, metrics=self._metrics,
+            payload = self._decides_receipt.payload_from(
+                origin, metrics=self._metrics
             )
             if isinstance(payload, DecisionPayload):
                 self.decisions_seen[origin] = payload.value

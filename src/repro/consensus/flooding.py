@@ -26,19 +26,48 @@ Algorithm 2's later phases).  Delivered values are recorded **per full
 path ending at the local node**: accepting ``(b, Π)`` from ``u`` records
 ``delivered[Π + (u, me)] = b``, which is exactly the shape steps (b) and
 (c) consume ("the value received from ``u`` along ``P_uv``").
+
+Internally the rules run on the graph's canonical
+:class:`~repro.graphs.index.NodeIndex`: each path's visited set is a
+plain-int bitmask carried alongside the tuple, so rule (i) is an
+adjacency-bit test, rule (iii) a single ``mask & me_bit``, and rule (ii)
+keys on ``(sender, Π)`` packed injectively into one integer.  Per-``Π``
+walk results are memoized (the same annotation arrives once per sender),
+``delivered`` is mirrored into a per-origin sub-index at accept time so
+:meth:`paths_from` and the reliable-receipt layer stop scanning the
+whole dict, and the full-path visited masks are retained for the
+disjoint-path packing downstream.  None of this changes the external
+shape: ``delivered`` insertion order, metric counts, and forwarded
+traffic are byte-identical to the tuple-walking implementation
+(property-tested against a legacy reference).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from typing import Callable, Dict, Hashable, Mapping, Optional, Tuple
+from weakref import WeakKeyDictionary
 
-from ..graphs import Graph, is_path
+from ..graphs import Graph
 from ..net.messages import FloodMessage, Payload
-from ..net.node import Context
+from ..net.node import Context, Outgoing
+from ..obs import NULL_METRICS
 
 PathTuple = Tuple[Hashable, ...]
 Validator = Callable[[Payload, PathTuple], bool]
 """Optional payload filter: receives (payload, full path origin..sender)."""
+
+#: Sentinel distinguishing "never walked" from a memoized invalid walk.
+_UNWALKED = object()
+
+#: Shared immutable empty mapping for origins with no deliveries.
+_NO_PATHS: Dict[PathTuple, Payload] = {}
+
+#: Per-registry memo of rendered metric-cell packs, keyed by phase tag.
+#: Weak keys: packs die with their registry, so a sweep's per-run
+#: registries never accumulate.
+_CELL_PACKS: "WeakKeyDictionary[object, Dict[Hashable, tuple]]" = (
+    WeakKeyDictionary()
+)
 
 
 class FloodInstance:
@@ -76,17 +105,88 @@ class FloodInstance:
         # ablation experiments disable it to show it is load-bearing.
         self.enable_rule_ii = enable_rule_ii
         self.delivered: Dict[PathTuple, Payload] = {}
-        self._seen: set[tuple[Hashable, PathTuple]] = set()
         self._defaults_applied = False
         self._initiated = False
+        # --- bitmask machinery (canonical node index) ------------------
+        index = graph.node_index()
+        self._index = index
+        self._me_idx = index.index_of[me]
+        self._me_bit = 1 << self._me_idx
+        #: rule (ii) slots: ``(sender, Π)`` packed into one int — the
+        #: order-faithful path encoding of ``Π + (sender,)``.
+        self._seen: set[int] = set()
+        #: memoized ``NodeIndex.walk`` results per received annotation Π
+        #: (``None`` = known-invalid) — the index's shared per-graph
+        #: memo, so annotations walked by any instance on this graph
+        #: (any node, phase, or run) are never re-walked here.
+        self._walks: Dict[PathTuple, object] = index.walk_memo
+        #: full delivered path → visited-set bitmask (me included) —
+        #: the packing currency of reliable receipt and step (c).
+        self._masks: Dict[PathTuple, int] = {}
+        #: origin → (full path → payload), same insertion order as
+        #: ``delivered`` restricted to that origin.
+        self._by_origin: Dict[Hashable, Dict[PathTuple, Payload]] = {}
+        # --- pre-rendered metric cells (bound per registry) ------------
+        self._cells_from: object = None
+        self._bind_cells(NULL_METRICS)
+
+    # ------------------------------------------------------------------
+    def _bind_cells(self, metrics) -> None:
+        """Render this phase's metric keys once per (registry, phase).
+
+        Cells create no keys until first incremented, so binding is
+        snapshot-neutral; the per-message rule path then skips the
+        kwargs/sort/format work of ``inc`` entirely.  The cell pack is
+        shared across all instances of the same phase on the same
+        registry (every node of a run floods the same phases), so only
+        the first instance pays the render cost.
+        """
+        if metrics is self._cells_from:
+            return
+        self._cells_from = metrics
+        packs = _CELL_PACKS.get(metrics)
+        if packs is None:
+            packs = {}
+            _CELL_PACKS[metrics] = packs
+        phase = self.phase
+        pack = packs.get(phase)
+        if pack is None:
+            pack = (
+                metrics.counter_cell("flood.initiated", phase=phase),
+                metrics.counter_cell("flood.accepted", phase=phase),
+                metrics.counter_cell("flood.default_substituted", phase=phase),
+                metrics.counter_cell("flood.rejected", phase=phase, rule="i"),
+                metrics.counter_cell("flood.rejected", phase=phase, rule="ii"),
+                metrics.counter_cell("flood.rejected", phase=phase, rule="iii"),
+                metrics.counter_cell(
+                    "flood.rejected", phase=phase, rule="validator"
+                ),
+                metrics.gauge_cell("flood.path_set.max", phase=phase),
+            )
+            packs[phase] = pack
+        (
+            self._c_initiated,
+            self._c_accepted,
+            self._c_default,
+            self._c_rej_i,
+            self._c_rej_ii,
+            self._c_rej_iii,
+            self._c_rej_validator,
+            self._g_path_set,
+        ) = pack
 
     # ------------------------------------------------------------------
     def initiate(self, ctx: Context, payload: Payload) -> None:
         """Round 1 of the phase: broadcast ``(payload, ⊥)``."""
+        if ctx.metrics is not self._cells_from:
+            self._bind_cells(ctx.metrics)
         self._initiated = True
-        self.delivered[(self.me,)] = payload
+        me = self.me
+        self.delivered[(me,)] = payload
+        self._masks[(me,)] = self._me_bit
+        self._by_origin.setdefault(me, {})[(me,)] = payload
         ctx.broadcast(FloodMessage(self.phase, payload, ()))
-        ctx.metrics.inc("flood.initiated", phase=self.phase)
+        self._c_initiated()
 
     def process_round(self, ctx: Context) -> int:
         """Apply rules (i)–(iv) to this round's inbox; returns #accepted.
@@ -96,12 +196,94 @@ class FloodInstance:
         substitution: any neighbor whose initiation ``(·, ⊥)`` is absent
         from this inbox is treated as having sent the default payload.
         """
+        if ctx.metrics is not self._cells_from:
+            self._bind_cells(ctx.metrics)
         accepted = 0
+        phase = self.phase
+        # Inline copy of the :meth:`_accept` rule pipeline with every
+        # per-message lookup hoisted to a local — this loop runs once
+        # per delivered message and dominates sweep time.  Keep it in
+        # lockstep with ``_accept`` (the default-substitution path below
+        # still calls it, and the legacy-equivalence property tests
+        # drive both paths).
+        index = self._index
+        index_of = index.index_of
+        adj = index.adj_masks
+        shift = index.shift
+        walks = self._walks
+        walk_fn = index.walk
+        me = self.me
+        me_bit = self._me_bit
+        validator = self.validator
+        rule_ii = self.enable_rule_ii
+        seen = self._seen
+        delivered = self.delivered
+        masks = self._masks
+        by_origin = self._by_origin
+        outbox_append = ctx.outbox.append
+        rej_i = rej_ii = rej_iii = rej_validator = 0
         for sender, message in ctx.inbox:
-            if not isinstance(message, FloodMessage) or message.phase != self.phase:
+            if not isinstance(message, FloodMessage) or message.phase != phase:
                 continue
-            if self._accept(ctx, sender, message):
-                accepted += 1
+            pi = message.path
+            walk = walks.get(pi, _UNWALKED)
+            if walk is _UNWALKED:
+                walk = walk_fn(pi)
+                walks[pi] = walk
+            # Rule (i): Π - u must exist in G.
+            sender_idx = index_of.get(sender)
+            if (
+                walk is None
+                or sender_idx is None
+                or walk[0] >> sender_idx & 1
+                or (walk[2] >= 0 and not adj[walk[2]] >> sender_idx & 1)
+            ):
+                rej_i += 1
+                continue
+            mask, packed, _last = walk
+            # Rule (iii): Π must not already contain me.
+            if mask & me_bit:
+                rej_iii += 1
+                continue
+            extended = pi + (sender,)  # Π - u
+            if validator is not None and not validator(
+                message.payload, extended
+            ):
+                rej_validator += 1
+                continue
+            # Rule (ii): first well-formed message per (sender, Π) slot.
+            if rule_ii:
+                slot = (packed << shift) | (sender_idx + 1)
+                if slot in seen:
+                    rej_ii += 1
+                    continue
+                seen.add(slot)
+            # Rule (iv): accept along Π - u and forward (b, Π - u).
+            payload = message.payload
+            full = extended + (me,)
+            delivered[full] = payload
+            masks[full] = mask | (1 << sender_idx) | me_bit
+            origin = extended[0]
+            sub = by_origin.get(origin)
+            if sub is None:
+                sub = by_origin[origin] = {}
+            sub[full] = payload
+            outbox_append(Outgoing(FloodMessage(phase, payload, extended)))
+            accepted += 1
+        # One batched fire per counter after the loop: a cell called with
+        # ``n`` equals ``n`` unit calls, keys appear only when a rule
+        # actually fired, and snapshots/merges sort keys — so batch order
+        # is invisible to every observable surface.
+        if accepted:
+            self._c_accepted(accepted)
+        if rej_i:
+            self._c_rej_i(rej_i)
+        if rej_ii:
+            self._c_rej_ii(rej_ii)
+        if rej_iii:
+            self._c_rej_iii(rej_iii)
+        if rej_validator:
+            self._c_rej_validator(rej_validator)
         if not self._defaults_applied:
             self._defaults_applied = True
             if self.default_payload is not None:
@@ -109,13 +291,17 @@ class FloodInstance:
                 # having flooded the default; rule (ii) rejects the
                 # substitute wherever a real initiation already claimed
                 # the (neighbor, ⊥) slot.
-                for nbr in sorted(self.graph.neighbors(self.me), key=repr):
-                    substitute = FloodMessage(self.phase, self.default_payload, ())
-                    if self._accept(ctx, nbr, substitute):
+                accept = self._accept
+                for nbr in self.graph.sorted_neighbors(self.me):
+                    substitute = FloodMessage(phase, self.default_payload, ())
+                    if accept(ctx, nbr, substitute):
                         accepted += 1
-                        ctx.metrics.inc(
-                            "flood.default_substituted", phase=self.phase
-                        )
+                        self._c_default()
+        if accepted:
+            # The path set only grows, so one high-water reading after
+            # the round equals the per-accept maximum it replaces — and
+            # the gauge key still appears only if something was accepted.
+            self._g_path_set(len(self.delivered))
         return accepted
 
     # ------------------------------------------------------------------
@@ -129,37 +315,61 @@ class FloodInstance:
         All neighbors of a sender hear the same transmissions in the same
         order, so this decision is identical everywhere.
         """
-        metrics = ctx.metrics
-        extended = message.extended_by(sender)  # Π - u
-        # Rule (i): Π - u must exist in G.
-        if not is_path(self.graph, extended):
-            metrics.inc("flood.rejected", phase=self.phase, rule="i")
+        index = self._index
+        pi = message.path
+        walks = self._walks
+        walk = walks.get(pi, _UNWALKED)
+        if walk is _UNWALKED:
+            walk = index.walk(pi)
+            walks[pi] = walk
+        # Rule (i): Π - u must exist in G — Π itself is a simple in-graph
+        # path, the sender extends it by one edge, and the sender is not
+        # already on it.
+        sender_idx = index.index_of.get(sender)
+        if (
+            walk is None
+            or sender_idx is None
+            or walk[0] >> sender_idx & 1
+            or (walk[2] >= 0 and not index.adj_masks[walk[2]] >> sender_idx & 1)
+        ):
+            self._c_rej_i()
             return False
+        mask, packed, _last = walk
         # Rule (iii): Π must not already contain me.
-        if self.me in message.path:
-            metrics.inc("flood.rejected", phase=self.phase, rule="iii")
+        if mask & self._me_bit:
+            self._c_rej_iii()
             return False
+        extended = pi + (sender,)  # Π - u
         # Optional payload validation (e.g. report bundles must originate
         # at their claimed reporter).
         if self.validator is not None and not self.validator(message.payload, extended):
-            metrics.inc("flood.rejected", phase=self.phase, rule="validator")
+            self._c_rej_validator()
             return False
         # Rule (ii): only the first well-formed message per (sender, Π)
-        # slot is ever accepted — equivocation prevention.
-        key = (sender, message.path)
+        # slot is ever accepted — equivocation prevention.  The slot key
+        # is the packed encoding of Π + (sender,): injective over the
+        # exact node sequence, so two distinct annotations sharing a
+        # node set (or a last hop) never merge slots.
         if self.enable_rule_ii:
-            if key in self._seen:
-                metrics.inc("flood.rejected", phase=self.phase, rule="ii")
+            slot = (packed << index.shift) | (sender_idx + 1)
+            seen = self._seen
+            if slot in seen:
+                self._c_rej_ii()
                 return False
-            self._seen.add(key)
+            seen.add(slot)
         # Rule (iv): accept along Π - u (recorded as the uv-path ending
         # here) and forward (b, Π - u).
-        self.delivered[extended + (self.me,)] = message.payload
-        ctx.broadcast(FloodMessage(self.phase, message.payload, extended))
-        metrics.inc("flood.accepted", phase=self.phase)
-        metrics.gauge_max(
-            "flood.path_set.max", len(self.delivered), phase=self.phase
-        )
+        payload = message.payload
+        full = extended + (self.me,)
+        self.delivered[full] = payload
+        self._masks[full] = mask | (1 << sender_idx) | self._me_bit
+        origin = extended[0]
+        by_origin = self._by_origin.get(origin)
+        if by_origin is None:
+            by_origin = self._by_origin[origin] = {}
+        by_origin[full] = payload
+        ctx.broadcast(FloodMessage(self.phase, payload, extended))
+        self._c_accepted()
         return True
 
     # ------------------------------------------------------------------
@@ -170,12 +380,33 @@ class FloodInstance:
         return self.delivered.get(path)
 
     def paths_from(self, origin: Hashable) -> Dict[PathTuple, Payload]:
-        """All delivered paths whose *origin* (first node) is ``origin``."""
-        return {
-            # repro: allow[REPRO001] hot path: delivered's insertion order
-            # is the deterministic flood-processing order, preserved here.
-            p: payload for p, payload in self.delivered.items() if p[0] == origin
-        }
+        """All delivered paths whose *origin* (first node) is ``origin``.
+
+        Served from the per-origin sub-index maintained at accept time —
+        same dict shape and same insertion order as filtering
+        ``delivered`` itself, without the O(|delivered|) scan.
+        """
+        return dict(self._by_origin.get(origin, _NO_PATHS))
+
+    def origin_view(self, origin: Hashable) -> Mapping[PathTuple, Payload]:
+        """Read-only view of one origin's deliveries (no copy).
+
+        The live sub-index, shared for speed on the hot read paths
+        (reliable receipt, step (c)); callers must not mutate it — use
+        :meth:`paths_from` for an owned copy.
+        """
+        return self._by_origin.get(origin, _NO_PATHS)
+
+    def origin_count(self, origin: Hashable) -> int:
+        """Number of delivered paths from ``origin`` — the version
+        counter incremental receipt tracking keys on (the per-origin
+        path set only ever grows)."""
+        sub = self._by_origin.get(origin)
+        return len(sub) if sub else 0
+
+    def path_mask(self, path: PathTuple) -> int:
+        """Visited-set bitmask of a delivered full path (me included)."""
+        return self._masks[path]
 
     def paths_with(self) -> Dict[PathTuple, Payload]:
         """Every delivered (path, payload) pair (copy)."""

@@ -124,21 +124,90 @@ class PathFloodEngine:
 
     def deliveries_at(self, receiver: Hashable) -> Dict[PathTuple, int]:
         """All (path → value) deliveries ending at ``receiver``,
-        including the trivial own path."""
+        including the trivial own path.
+
+        Runs a prefix-sharing DFS: the value along a path is a pure
+        function of its prefix, so it is threaded through the traversal
+        and each prefix's forwarding work is done once for *all* simple
+        paths extending it — instead of re-walking every enumerated path
+        from its origin (:meth:`naive_deliveries_at`, kept as the test
+        oracle).  A prefix whose next hop drops the message prunes the
+        whole subtree (counted under ``path_engine.prefixes_pruned``).
+        The traversal mirrors :func:`~repro.graphs.all_simple_paths`
+        exactly, so the delivered dict is equal — same keys, same values,
+        same insertion order.
+
+        Metric notes: ``paths_delivered`` and ``path_length`` keep their
+        meanings; ``paths_evaluated`` now counts completed walks only
+        (dropped paths are never materialized — the old per-path
+        ``paths_dropped`` counter is subsumed by ``prefixes_pruned``).
+        """
+        out: Dict[PathTuple, int] = {
+            (receiver,): self.effective_initial(receiver)
+        }
+        graph = self.graph
+        behaviors = self.behaviors
+        n = graph.n
+        delivered = 0
+        pruned = 0
+        lengths: Dict[int, int] = {}
+        # Hoisted per-node state: the adjacency is read once per node,
+        # and the growing prefix is threaded through the recursion as a
+        # tuple — each prefix is materialized exactly once and shared by
+        # the forward rule, the recursive call, and (via one final
+        # concat) every delivery key it produces.
+        nbrs = {v: graph.sorted_neighbors(v) for v in graph.nodes}  # repro: allow[REPRO001] lookup table; only keyed access, order never reaches a trace
+        on_stack: set = set()
+        tail = (receiver,)
+
+        def dfs(value: int, prefix: PathTuple) -> None:
+            nonlocal delivered, pruned
+            depth_full = len(prefix) + 1 >= n
+            for nxt in nbrs[prefix[-1]]:
+                if nxt == receiver:
+                    path = prefix + tail
+                    out[path] = value
+                    delivered += 1
+                    lengths[len(path)] = lengths.get(len(path), 0) + 1
+                    continue
+                if nxt in on_stack or depth_full:
+                    continue
+                child = prefix + (nxt,)
+                forwarded = behaviors[nxt].forward(value, child)
+                if forwarded is None:
+                    pruned += 1
+                    continue
+                on_stack.add(nxt)
+                dfs(forwarded, child)
+                on_stack.remove(nxt)
+
+        for origin in sorted(graph.nodes - {receiver}, key=repr):
+            on_stack = {origin}
+            dfs(self.effective_initial(origin), (origin,))
+        metrics = self.metrics
+        if delivered:
+            metrics.inc("path_engine.paths_evaluated", delivered)
+            metrics.inc("path_engine.paths_delivered", delivered)
+            for length in sorted(lengths):
+                metrics.observe("path_engine.path_length", length, lengths[length])
+        if pruned:
+            metrics.inc("path_engine.prefixes_pruned", pruned)
+        metrics.gauge_max("path_engine.path_set.max", len(out))
+        return out
+
+    def naive_deliveries_at(self, receiver: Hashable) -> Dict[PathTuple, int]:
+        """Reference implementation of :meth:`deliveries_at`: enumerate
+        every simple path and re-walk it with :meth:`value_along`.
+        Metrics-free; the equivalence tests assert the prefix-sharing
+        DFS matches it delivery-for-delivery (order included)."""
         out: Dict[PathTuple, int] = {
             (receiver,): self.effective_initial(receiver)
         }
         for origin in sorted(self.graph.nodes - {receiver}, key=repr):
             for path in all_simple_paths(self.graph, origin, receiver):
                 value = self.value_along(path)
-                self.metrics.inc("path_engine.paths_evaluated")
-                self.metrics.observe("path_engine.path_length", len(path))
                 if value is not None:
                     out[path] = value
-                    self.metrics.inc("path_engine.paths_delivered")
-                else:
-                    self.metrics.inc("path_engine.paths_dropped")
-        self.metrics.gauge_max("path_engine.path_set.max", len(out))
         return out
 
     def all_deliveries(self) -> Dict[Hashable, Dict[PathTuple, int]]:

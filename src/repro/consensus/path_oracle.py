@@ -15,7 +15,22 @@ per phase).
   tree answers *every* ``u → root`` query of a phase;
 * the resulting paths, keyed by ``(excluded, u, v)``;
 * :func:`repro.graphs.disjoint_paths_excluding` packings, keyed by
-  ``(sources, v, excluded, k)``.
+  ``(sources, v, excluded, k)``;
+* maximum disjoint-path families from :func:`repro.graphs
+  .max_disjoint_paths`, keyed by ``(u, v)`` — a pure function of the
+  static graph that Algorithm 2's fault localization asks for once per
+  (origin, target) pair *per node per run*.  Memoized here, the
+  generic max-flow computation leaves the hot path entirely; the
+  underlying routine stays as the oracle the property tests compare
+  against.
+
+Internally every memo key lives in the graph's canonical
+:class:`~repro.graphs.index.NodeIndex` space: node sets become
+plain-int bitmasks and nodes become bit positions, so the hot lookups
+hash small integers instead of frozensets of labels.  The translation
+is injective (off-index queries fall back to explicitly tagged
+label-space keys), so the hit/miss sequence of every query stream is
+exactly the one the label-keyed implementation produced.
 
 One oracle is meant to be shared by all protocol instances on the same
 graph — the ``algorithm*_factory`` helpers do exactly that.  All
@@ -37,7 +52,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
-from ..graphs import Graph, disjoint_paths_excluding
+from ..graphs import Graph, disjoint_paths_excluding, max_disjoint_paths
 from ..obs import MetricsRegistry
 
 PathTuple = Tuple[Hashable, ...]
@@ -46,69 +61,118 @@ PathTuple = Tuple[Hashable, ...]
 class PathOracle:
     """Memoized pruned-graph shortest paths and disjoint-path packings."""
 
-    __slots__ = ("graph", "_pruned", "_trees", "_paths", "_packings",
-                 "metrics")
+    __slots__ = ("graph", "_index", "_pruned", "_trees", "_paths", "_packings",
+                 "_disjoint", "metrics", "_c_hit_path", "_c_miss_path",
+                 "_c_hit_packing", "_c_miss_packing", "_c_hit_disjoint",
+                 "_c_miss_disjoint")
 
     def __init__(
         self,
         graph: Graph,
-        warm: Optional[Tuple[dict, dict]] = None,
+        warm: Optional[Tuple[dict, ...]] = None,
     ):
         self.graph = graph
-        self._pruned: Dict[FrozenSet[Hashable], Graph] = {}
-        self._trees: Dict[
-            Tuple[FrozenSet[Hashable], Hashable], Dict[Hashable, Hashable]
-        ] = {}
+        self._index = graph.node_index()
+        # All four memos are keyed in index space: a node set is its
+        # strict bitmask, a node its bit position.  Queries the index
+        # cannot encode (off-graph labels) use ("raw", ...) tagged keys
+        # instead — the tag prevents any collision with bit positions,
+        # which are ints just like common node labels.
+        self._pruned: Dict[object, Graph] = {}
+        self._trees: Dict[Tuple[object, object], Dict[Hashable, Hashable]] = {}
         self._paths: Dict[
-            Tuple[FrozenSet[Hashable], Hashable, Hashable], Optional[PathTuple]
+            Tuple[object, object, object], Optional[PathTuple]
         ] = {}
         self._packings: Dict[
-            Tuple[FrozenSet[Hashable], Hashable, FrozenSet[Hashable], int],
+            Tuple[object, object, object, int],
             Optional[List[PathTuple]],
+        ] = {}
+        self._disjoint: Dict[
+            Tuple[object, object], List[PathTuple]
         ] = {}
         # Per-process observability: cache traffic lands on a private
         # registry so sweep merges can aggregate it, while the
         # ``hits``/``misses`` property shims keep the original int API.
+        # The counters are bound as cells once — the hit path of a warm
+        # oracle is a dict probe plus one closure call.
         self.metrics = MetricsRegistry()
+        metrics = self.metrics
+        self._c_hit_path = metrics.counter_cell("oracle.hits", kind="path")
+        self._c_miss_path = metrics.counter_cell("oracle.misses", kind="path")
+        self._c_hit_packing = metrics.counter_cell("oracle.hits", kind="packing")
+        self._c_miss_packing = metrics.counter_cell(
+            "oracle.misses", kind="packing"
+        )
+        self._c_hit_disjoint = metrics.counter_cell(
+            "oracle.hits", kind="disjoint"
+        )
+        self._c_miss_disjoint = metrics.counter_cell(
+            "oracle.misses", kind="disjoint"
+        )
         if warm is not None:
-            pruned, trees = warm
+            pruned, trees, *rest = warm
             self._pruned.update(pruned)
             self._trees.update(trees)
+            if rest:
+                self._disjoint.update(rest[0])
 
     @property
     def hits(self) -> int:
         """Total cache hits (shim over the ``oracle.hits`` counters)."""
-        return self.metrics.counter("oracle.hits", kind="path") + self.metrics.counter(
-            "oracle.hits", kind="packing"
+        metrics = self.metrics
+        return (
+            metrics.counter("oracle.hits", kind="path")
+            + metrics.counter("oracle.hits", kind="packing")
+            + metrics.counter("oracle.hits", kind="disjoint")
         )
 
     @property
     def misses(self) -> int:
         """Total cache misses (shim over the ``oracle.misses`` counters)."""
-        return self.metrics.counter(
-            "oracle.misses", kind="path"
-        ) + self.metrics.counter("oracle.misses", kind="packing")
+        metrics = self.metrics
+        return (
+            metrics.counter("oracle.misses", kind="path")
+            + metrics.counter("oracle.misses", kind="packing")
+            + metrics.counter("oracle.misses", kind="disjoint")
+        )
 
     def __reduce__(self):
-        # Ship the structural memos (pruned graphs and BFS parent trees)
-        # so sweep workers start warm — these dominate the rebuild cost
-        # and are pure functions of the graph.  The per-query result
-        # caches (_paths/_packings) and the hit counters stay
-        # per-process: they are cheap to refill and keeping them local
-        # keeps the pickle payload proportional to the phase structure,
-        # not to the query history.
+        # Ship the structural memos (pruned graphs, BFS parent trees,
+        # disjoint-path families) so sweep workers start warm — these
+        # dominate the rebuild cost and are pure functions of the graph.
+        # The per-query result caches (_paths/_packings) and the hit
+        # counters stay per-process: they are cheap to refill and
+        # keeping them local keeps the pickle payload proportional to
+        # the phase structure, not to the query history.
         return (
             type(self),
-            (self.graph, (dict(self._pruned), dict(self._trees))),
+            (
+                self.graph,
+                (dict(self._pruned), dict(self._trees), dict(self._disjoint)),
+            ),
         )
+
+    # ------------------------------------------------------------------
+    def _set_key(self, nodes: FrozenSet[Hashable]) -> object:
+        """Index-space key for a node set: its strict bitmask, or the
+        tagged set itself when some member is off-index.  Injective in
+        both regimes, so distinct label-space keys never merge."""
+        mask = self._index.mask_of_strict(nodes)
+        return mask if mask is not None else ("raw", nodes)
+
+    def _node_key(self, v: Hashable) -> object:
+        """Index-space key for one node (bit position or tagged label)."""
+        idx = self._index.index_of.get(v)
+        return idx if idx is not None else ("raw", v)
 
     # ------------------------------------------------------------------
     def pruned(self, removed: FrozenSet[Hashable]) -> Graph:
         """``G − removed``, computed once per distinct removal set."""
-        graph = self._pruned.get(removed)
+        key = self._set_key(removed)
+        graph = self._pruned.get(key)
         if graph is None:
             graph = self.graph.remove_nodes(removed)
-            self._pruned[removed] = graph
+            self._pruned[key] = graph
         return graph
 
     def _parents(
@@ -119,7 +183,7 @@ class PathOracle:
         Neighbors are visited in ``repr`` order, so the tree (and every
         path read from it) is deterministic.
         """
-        key = (removed, root)
+        key = (self._set_key(removed), self._node_key(root))
         parents = self._trees.get(key)
         if parents is None:
             graph = self.pruned(removed)
@@ -148,11 +212,11 @@ class PathOracle:
         pruned graph is ``G − (excluded − {u, v})`` and a missing
         endpoint or disconnection yields ``None``.
         """
-        key = (excluded, u, v)
+        key = (self._set_key(excluded), self._node_key(u), self._node_key(v))
         if key in self._paths:
-            self.metrics.inc("oracle.hits", kind="path")
+            self._c_hit_path()
             return self._paths[key]
-        self.metrics.inc("oracle.misses", kind="path")
+        self._c_miss_path()
         removed = frozenset(excluded - {u, v})
         graph = self.pruned(removed)
         path: Optional[PathTuple]
@@ -172,6 +236,39 @@ class PathOracle:
         self._paths[key] = path
         return path
 
+    def paths_excluding_many(
+        self,
+        sources: Iterable[Hashable],
+        v: Hashable,
+        excluded: FrozenSet[Hashable],
+    ) -> List[Optional[PathTuple]]:
+        """:meth:`path_excluding` for many sources sharing one target and
+        excluded set — the exact query shape of step (b), which classifies
+        every node of a phase against the same candidate set.
+
+        The shared key parts (``excluded``'s bitmask, ``v``'s bit) are
+        rendered once for the whole batch instead of once per source;
+        results, memo entries, and the hit/miss sequence are identical to
+        ``[path_excluding(u, v, excluded) for u in sources]``.
+        """
+        skey = self._set_key(excluded)
+        vkey = self._node_key(v)
+        paths = self._paths
+        index_of = self._index.index_of
+        hits = 0
+        out: List[Optional[PathTuple]] = []
+        for u in sources:
+            idx = index_of.get(u)
+            key = (skey, idx if idx is not None else ("raw", u), vkey)
+            if key in paths:
+                hits += 1
+                out.append(paths[key])
+            else:
+                out.append(self.path_excluding(u, v, excluded))
+        if hits:
+            self._c_hit_path(hits)
+        return out
+
     def disjoint_paths_excluding(
         self,
         sources: Iterable[Hashable],
@@ -180,14 +277,37 @@ class PathOracle:
         k: int,
     ) -> Optional[List[PathTuple]]:
         """Memoized :func:`repro.graphs.disjoint_paths_excluding`."""
-        key = (frozenset(sources), v, frozenset(exclude), k)
+        fsources = frozenset(sources)
+        fexclude = frozenset(exclude)
+        key = (self._set_key(fsources), self._node_key(v), self._set_key(fexclude), k)
         if key in self._packings:
-            self.metrics.inc("oracle.hits", kind="packing")
+            self._c_hit_packing()
             return self._packings[key]
-        self.metrics.inc("oracle.misses", kind="packing")
-        result = disjoint_paths_excluding(self.graph, key[0], v, key[2], k)
+        self._c_miss_packing()
+        result = disjoint_paths_excluding(self.graph, fsources, v, fexclude, k)
         self._packings[key] = result
         return result
+
+    def disjoint_paths_between(self, u: Hashable, v: Hashable) -> List[PathTuple]:
+        """A maximum family of internally node-disjoint ``uv``-paths.
+
+        Memoized :func:`repro.graphs.max_disjoint_paths` (``want_paths``
+        form, count dropped): the answer depends only on the static
+        graph and the endpoint pair, yet Algorithm 2's phase-2 fault
+        localization asks for it for every (origin, target) pair in
+        every protocol instance of every run — by far the dominant cost
+        of an unmemoized sweep.  Callers must not mutate the returned
+        list.
+        """
+        key = (self._node_key(u), self._node_key(v))
+        paths = self._disjoint.get(key)
+        if paths is not None:
+            self._c_hit_disjoint()
+            return paths
+        self._c_miss_disjoint()
+        _count, paths = max_disjoint_paths(self.graph, u, v, want_paths=True)
+        self._disjoint[key] = paths
+        return paths
 
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
@@ -199,6 +319,7 @@ class PathOracle:
             "bfs_trees": len(self._trees),
             "paths": len(self._paths),
             "packings": len(self._packings),
+            "disjoint_pairs": len(self._disjoint),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

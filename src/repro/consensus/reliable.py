@@ -33,10 +33,15 @@ on its path, so honest downstream nodes are never blamed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Mapping, Optional, Tuple
 
-from ..graphs import Graph, has_disjoint_path_packing, max_disjoint_paths
+from ..graphs import (
+    Graph,
+    has_disjoint_mask_packing,
+    has_disjoint_path_packing,
+    max_disjoint_paths,
+)
 from ..net.messages import FloodMessage, ValuePayload
 from ..obs import NULL_METRICS
 
@@ -55,12 +60,30 @@ class ReportBundle:
 
     reporter: Hashable
     entries: Tuple[Tuple[Hashable, Transcript], ...]
+    #: lazily built subject→transcript map; excluded from repr, equality
+    #: and hashing, so two bundles with equal entries stay canonically
+    #: equal whether or not either has been queried.
+    _by_subject: Optional[Dict[Hashable, Transcript]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def transcript_of(self, subject: Hashable) -> Optional[Transcript]:
-        for s, transcript in self.entries:
-            if s == subject:
-                return transcript
-        return None
+        """The transcript this bundle claims for ``subject``, if any.
+
+        Served from a cached mapping built on first use.  The build
+        keeps the *first* entry per subject — a Byzantine bundle may
+        carry duplicate subjects, and the linear scan this replaces
+        returned the first match.
+        """
+        mapping = self._by_subject
+        if mapping is None:
+            mapping = {}
+            for s, transcript in self.entries:
+                if s not in mapping:
+                    mapping[s] = transcript
+            # frozen dataclass: route the cache write around __setattr__.
+            object.__setattr__(self, "_by_subject", mapping)
+        return mapping.get(subject)
 
     @classmethod
     def build(
@@ -83,6 +106,7 @@ def reliable_value(
     origin: Hashable,
     oracle: Optional["PathOracle"] = None,
     metrics: object = NULL_METRICS,
+    path_mask: Optional[Callable[[PathTuple], int]] = None,
 ) -> Optional[int]:
     """Definition C.1 applied to a phase-1 value flood.
 
@@ -107,9 +131,43 @@ def reliable_value(
         if isinstance(payload, ValuePayload)
     }
     payload = reliable_payload(
-        graph, f, me, values_only, origin, oracle=oracle, metrics=metrics
+        graph, f, me, values_only, origin, oracle=oracle, metrics=metrics,
+        path_mask=path_mask,
     )
     return payload.value if isinstance(payload, ValuePayload) else None
+
+
+def _interior_masks(
+    graph: Graph,
+    paths: List[PathTuple],
+    origin: Hashable,
+    me: Hashable,
+    path_mask: Optional[Callable[[PathTuple], int]],
+) -> Optional[List[int]]:
+    """Internal-node bitmasks for a group of ``origin→me`` paths.
+
+    With a ``path_mask`` lookup (the flood's full-path visited masks)
+    this is two bit-clears per path; otherwise the masks are rebuilt
+    from the index.  Returns ``None`` when any path carries a node the
+    index does not know (possible only for hand-built ``delivered``
+    dicts) — the caller then falls back to the frozenset packing, so
+    the decision stays exactly equal to the legacy implementation.
+    """
+    index = graph.node_index()
+    index_of = index.index_of
+    if path_mask is not None:
+        o_idx = index_of.get(origin)
+        me_idx = index_of.get(me)
+        if o_idx is not None and me_idx is not None:
+            ends = (1 << o_idx) | (1 << me_idx)
+            return [path_mask(p) & ~ends for p in paths]
+    masks: List[int] = []
+    for p in paths:
+        mask = index.mask_of_strict(p[1:-1])
+        if mask is None:
+            return None
+        masks.append(mask)
+    return masks
 
 
 def reliable_payload(
@@ -120,6 +178,7 @@ def reliable_payload(
     origin: Hashable,
     oracle: Optional["PathOracle"] = None,
     metrics: object = NULL_METRICS,
+    path_mask: Optional[Callable[[PathTuple], int]] = None,
 ) -> Optional[object]:
     """Definition C.1 generalized to arbitrary flood payloads.
 
@@ -171,9 +230,75 @@ def reliable_payload(
             return None
     for payload in sorted(groups, key=repr):
         metrics.inc("reliable.packing_checks")
-        if has_disjoint_path_packing(groups[payload], f + 1, mode="uv"):
+        # Disjointness runs over internal-node bitmasks (two paths
+        # conflict iff mask_a & mask_b != 0); the frozenset search is
+        # kept as the fallback for paths the index cannot encode.
+        masks = _interior_masks(graph, groups[payload], origin, me, path_mask)
+        if masks is not None:
+            packed = has_disjoint_mask_packing(masks, f + 1)
+        else:
+            packed = has_disjoint_path_packing(groups[payload], f + 1, mode="uv")
+        if packed:
             return payload
     return None
+
+
+class ReceiptTracker:
+    """Incremental Definition C.1 over one flood instance.
+
+    The asynchronous algorithm re-asks :func:`reliable_payload` for
+    every still-unresolved origin after *every* round with accepted
+    traffic, but a verdict can only change when that origin's delivered
+    path set grows.  The tracker keys each cached verdict on the flood's
+    per-origin delivery count (the path set only ever grows, so an equal
+    count means an identical per-origin view) and skips the whole
+    certificate when nothing changed — counting the skip under
+    ``reliable.dirty_skips``.  Because the cached result is exactly what
+    a fresh call would return, decisions and round counts are unchanged;
+    only redundant packing work disappears.
+
+    The skip path returns the *cached* verdict rather than ``None``:
+    a non-``None`` payload may still be type-rejected by the caller,
+    which will legitimately ask again without new deliveries.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        f: int,
+        me: Hashable,
+        flood,
+        oracle: Optional["PathOracle"] = None,
+    ):
+        self.graph = graph
+        self.f = f
+        self.me = me
+        self.flood = flood
+        self.oracle = oracle
+        self._versions: Dict[Hashable, int] = {}
+        self._last: Dict[Hashable, Optional[object]] = {}
+
+    def payload_from(
+        self, origin: Hashable, metrics: object = NULL_METRICS
+    ) -> Optional[object]:
+        """Cached-or-fresh :func:`reliable_payload` for ``origin``."""
+        count = self.flood.origin_count(origin)
+        if origin in self._last and self._versions[origin] == count:
+            metrics.inc("reliable.dirty_skips")
+            return self._last[origin]
+        result = reliable_payload(
+            self.graph,
+            self.f,
+            self.me,
+            self.flood.origin_view(origin),
+            origin,
+            oracle=self.oracle,
+            metrics=metrics,
+            path_mask=self.flood.path_mask,
+        )
+        self._versions[origin] = count
+        self._last[origin] = result
+        return result
 
 
 class ClaimIndex:
@@ -203,6 +328,10 @@ class ClaimIndex:
         self.own_sent = own_sent
         # transcript evidence: subject -> claimed transcript -> [composite paths]
         self._transcript_paths: Dict[Hashable, Dict[Transcript, List[PathTuple]]] = {}
+        # composite path -> internal-node bitmask (None if the index
+        # cannot encode it); the packing currency of both certificates.
+        self._composite_masks: Dict[PathTuple, Optional[int]] = {}
+        index = graph.node_index()
         # repro: allow[REPRO001] bundle_deliveries preserves the
         # deterministic flood-processing insertion order; the evidence
         # lists built here feed packing-existence checks only.
@@ -218,11 +347,29 @@ class ClaimIndex:
                 if subject in path:
                     continue  # composite path (subject,)+path must stay simple
                 composite = (subject,) + path
+                if composite not in self._composite_masks:
+                    # internal nodes of (subject,) + path are path[:-1]
+                    self._composite_masks[composite] = index.mask_of_strict(
+                        path[:-1]
+                    )
                 self._transcript_paths.setdefault(subject, {}).setdefault(
                     transcript, []
                 ).append(composite)
         self._reliable_transcript_cache: Dict[Hashable, Optional[Transcript]] = {}
         self._claim_cache: Dict[Tuple[Hashable, object], bool] = {}
+
+    # ------------------------------------------------------------------
+    def _packs(self, paths: List[PathTuple]) -> bool:
+        """``f + 1`` internally node-disjoint paths among ``paths``?
+
+        Mask packing over the composite masks computed at build time;
+        falls back to the frozenset search iff some path carried an
+        off-index node (identical decision either way).
+        """
+        masks = [self._composite_masks.get(p) for p in paths]
+        if all(m is not None for m in masks):
+            return has_disjoint_mask_packing(masks, self.f + 1)
+        return has_disjoint_path_packing(paths, self.f + 1, mode="uv")
 
     # ------------------------------------------------------------------
     def reliable_transcript(self, subject: Hashable) -> Optional[Transcript]:
@@ -241,7 +388,7 @@ class ClaimIndex:
             # at most one transcript can ever pass the f+1 disjoint-path
             # certificate (single-valuedness), so order cannot matter.
             for transcript, paths in self._transcript_paths.get(subject, {}).items():
-                if has_disjoint_path_packing(paths, self.f + 1, mode="uv"):
+                if self._packs(paths):
                     result = transcript
                     break
         self._reliable_transcript_cache[subject] = result
@@ -273,7 +420,7 @@ class ClaimIndex:
                 if any(m == message for _, m in transcript)
                 for p in plist
             ]
-            result = has_disjoint_path_packing(paths, self.f + 1, mode="uv")
+            result = self._packs(paths)
         self._claim_cache[key] = result
         return result
 
@@ -286,6 +433,7 @@ def detect_faults(
     claims: ClaimIndex,
     phase1_tag: Hashable,
     first_round: int = 1,
+    oracle: Optional["PathOracle"] = None,
 ) -> set[Hashable]:
     """Phase-2 fault localization (Algorithm 2, phase 2).
 
@@ -324,6 +472,12 @@ def detect_faults(
     about honest nodes are never reliably received; and honest
     omissions occur only downstream of an earlier (faulty) deviator,
     which is detected first and shadows them.
+
+    When a shared :class:`~repro.consensus.path_oracle.PathOracle` is
+    supplied, the disjoint-path families come from its per-pair memo —
+    identical answers, computed once per graph instead of once per
+    (instance, run, pair); otherwise each pair runs the generic
+    max-flow routine directly.
     """
     detected: set[Hashable] = set()
     # Depends only on z's transcript — memoized so the quadruple loop
@@ -348,7 +502,13 @@ def detect_faults(
         for u in sorted(graph.nodes, key=repr):
             if u == w:
                 continue
-            _count, paths = max_disjoint_paths(graph, w, u, want_paths=True)
+            if oracle is not None:
+                # The path family is a pure function of the static graph
+                # and the pair — the shared oracle answers it once per
+                # pair instead of once per (instance, run, pair).
+                paths = oracle.disjoint_paths_between(w, u)
+            else:
+                _count, paths = max_disjoint_paths(graph, w, u, want_paths=True)
             for path in sorted(paths, key=repr)[: 2 * f]:
                 for idx in range(1, len(path) - 1):
                     z = path[idx]

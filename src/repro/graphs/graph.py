@@ -39,7 +39,8 @@ class Graph:
     protocol cannot accidentally rewire the network mid-run.
     """
 
-    __slots__ = ("_adj", "_nodes", "_edge_count", "_hash", "_sorted_adj")
+    __slots__ = ("_adj", "_nodes", "_edge_count", "_hash", "_sorted_adj",
+                 "_index")
 
     def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()):
         adj: dict[Node, set[Node]] = {v: set() for v in nodes}
@@ -65,6 +66,7 @@ class Graph:
         self._edge_count = edge_count
         self._hash: int | None = None
         self._sorted_adj: dict[Node, tuple[Node, ...]] = {}
+        self._index = None  # lazy NodeIndex (see node_index)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -119,6 +121,23 @@ class Graph:
             cached = tuple(sorted(self.neighbors(v), key=repr))
             self._sorted_adj[v] = cached
         return cached
+
+    def node_index(self):
+        """The canonical :class:`~repro.graphs.index.NodeIndex` of this
+        graph (``repr``-sorted node→bit mapping plus adjacency bitmasks),
+        built lazily and cached for the graph's lifetime.
+
+        Because the index lives in a slot, a pickled graph ships it warm
+        (the index holds only derived data, never a back reference), so
+        sweep workers reuse it instead of rebuilding per process.
+        """
+        index = self._index
+        if index is None:
+            from .index import NodeIndex
+
+            index = NodeIndex(self)
+            self._index = index
+        return index
 
     def degree(self, v: Node) -> int:
         """Degree of ``v`` — the number of edges incident to it."""

@@ -178,6 +178,65 @@ def has_disjoint_path_packing(
     return search(0, 0, full)
 
 
+def has_disjoint_mask_packing(masks: Sequence[int], k: int) -> bool:
+    """Decide whether ``k`` pairwise-disjoint bitmasks exist in ``masks``.
+
+    The integer-set twin of :func:`has_disjoint_path_packing`: callers
+    encode whatever disjointness currency their mode needs (internal
+    nodes for ``uv``-paths, everything-but-the-sink for ``Uv``-paths) as
+    node bitmasks, and two paths conflict iff ``mask_a & mask_b != 0``.
+
+    A greedy pass (fewest-bits-first, stable) answers the overwhelmingly
+    common feasible case in one sweep; greedy success is always sound,
+    so only its failure falls back to the exact conflict-bitmask DFS —
+    the same search :func:`has_disjoint_path_packing` runs — keeping the
+    decision *exactly* equal to the frozenset implementation on every
+    input (property-tested against it).
+    """
+    if k <= 0:
+        return True
+    m = len(masks)
+    if m < k:
+        return False
+    # Greedy fast path: taking sparse masks first maximizes the room
+    # left; success proves feasibility (failure proves nothing).
+    taken = 0
+    used = 0
+    for mask in sorted(masks, key=int.bit_count):
+        if used & mask == 0:
+            used |= mask
+            taken += 1
+            if taken >= k:
+                return True
+    # Exact fallback: DFS over conflict bitmasks, ordered by conflict
+    # degree, pruned when the alive set cannot reach k.
+    conflict = [0] * m
+    for i in range(m):
+        mask_i = masks[i]
+        for j in range(i + 1, m):
+            if mask_i & masks[j]:
+                conflict[i] |= 1 << j
+                conflict[j] |= 1 << i
+    order = sorted(range(m), key=lambda i: conflict[i].bit_count())
+    full = (1 << m) - 1
+
+    def search(start: int, chosen: int, alive: int) -> bool:
+        if chosen >= k:
+            return True
+        for idx in range(start, m):
+            i = order[idx]
+            if not (alive >> i) & 1:
+                continue
+            remaining_after = alive & ~conflict[i] & ~(1 << i)
+            if chosen + 1 + remaining_after.bit_count() < k:
+                continue
+            if search(idx + 1, chosen + 1, remaining_after):
+                return True
+        return False
+
+    return search(0, 0, full)
+
+
 def max_disjoint_path_packing(
     paths: Sequence[Sequence[Node]], mode: str = "uv"
 ) -> int:

@@ -88,13 +88,8 @@ class _WrapperProtocol(Protocol):
 
     def on_round(self, ctx: Context) -> None:
         shadow = Context(
-            node=ctx.node,
-            graph=ctx.graph,
-            round_no=ctx.round_no,
-            channel=ctx.channel,
-            inbox=ctx.inbox,
-            now=ctx.now,
-            metrics=ctx.metrics,
+            ctx.node, ctx.graph, ctx.round_no, ctx.channel, ctx.inbox,
+            [], ctx.now, ctx.metrics,
         )
         self.inner.on_round(shadow)
         for message, target in self.transform(

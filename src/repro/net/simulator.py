@@ -75,6 +75,15 @@ class NetworkEngine:
         self.round_no = 0
         self._order = sorted(graph.nodes, key=repr)
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        # Per-tick metric cells, rendered once per engine (cells create
+        # no keys until first fired, so binding is snapshot-neutral).
+        m = self.metrics
+        self._c_ticks = m.counter_cell("net.ticks")
+        self._c_deliveries = m.counter_cell("net.deliveries")
+        self._c_transmissions = m.counter_cell("net.transmissions")
+        self._c_quiescent = m.counter_cell("net.quiescent_ticks")
+        self._h_deliveries_per_tick = m.hist_cell("net.deliveries_per_tick")
+        self._g_in_flight = m.gauge_cell("net.in_flight.max")
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -94,22 +103,23 @@ class NetworkEngine:
         if not m.enabled:
             return
         in_flight = self.in_flight
-        m.inc("net.ticks")
+        self._c_ticks()
         if delivered:
-            m.inc("net.deliveries", delivered)
+            self._c_deliveries(delivered)
         if sent:
-            m.inc("net.transmissions", sent)
-        m.observe("net.deliveries_per_tick", delivered)
-        m.gauge_max("net.in_flight.max", in_flight)
+            self._c_transmissions(sent)
+        self._h_deliveries_per_tick(delivered)
+        self._g_in_flight(in_flight)
         if delivered == 0 and sent == 0 and in_flight == 0:
-            m.inc("net.quiescent_ticks")
-        m.emit(
-            "tick",
-            tick=self.round_no,
-            deliveries=delivered,
-            sends=sent,
-            in_flight=in_flight,
-        )
+            self._c_quiescent()
+        if m.events is not None:
+            m.emit(
+                "tick",
+                tick=self.round_no,
+                deliveries=delivered,
+                sends=sent,
+                in_flight=in_flight,
+            )
 
     def _resolve_recipients(
         self, node: Hashable, target: Optional[Hashable]
@@ -143,11 +153,12 @@ class NetworkEngine:
         termination violations surface as errors, not hangs.
         """
         watch = set(honest) if honest is not None else set(self.protocols)
+        watched = [self.protocols[v] for v in sorted(watch, key=repr)]
         for _ in range(max_rounds):
-            if all(self.protocols[v].finished for v in watch):
+            if all(p.finished for p in watched):
                 return self.trace
             self.step()
-        if all(self.protocols[v].finished for v in watch):
+        if all(p.finished for p in watched):
             return self.trace
         undecided = sorted(
             (v for v in watch if not self.protocols[v].finished), key=repr
@@ -174,6 +185,14 @@ class SynchronousNetwork(NetworkEngine):
     ):
         super().__init__(graph, protocols, channel, metrics)
         self._pending: Dict[Hashable, Inbox] = {v: [] for v in self._order}
+        # Messages queued into ``_pending`` by the previous step — next
+        # step's delivery count, carried instead of re-summed per round.
+        self._pending_count = 0
+        # The inbox dict drained two steps ago, recycled as the next
+        # round's pending map.  Protocols must not keep inbox references
+        # across rounds (the :class:`Context` contract), so the lists
+        # are free for reuse once their round has run.
+        self._spare: Dict[Hashable, Inbox] = {v: [] for v in self._order}
 
     @property
     def in_flight(self) -> int:
@@ -181,64 +200,90 @@ class SynchronousNetwork(NetworkEngine):
 
         Mirrors :attr:`~repro.net.sched.EventDrivenNetwork.in_flight` so
         the runner's message-driven termination accounting works on both
-        engines.
+        engines.  ``_pending`` is only ever filled inside :meth:`step`,
+        which maintains the count — no re-summing per query.
         """
-        return sum(len(inbox) for inbox in self._pending.values())
+        return self._pending_count
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Execute one synchronous round."""
+        """Execute one synchronous round.
+
+        The loop bodies run once per message; everything reached per
+        message is a hoisted local and records are appended to the trace
+        lists directly (``Trace.record``'s rounds bookkeeping is
+        subsumed by the unconditional update at the end of the step).
+        """
         self.round_no += 1
-        inboxes, self._pending = self._pending, {v: [] for v in self._order}
-        delivered = sum(len(inboxes[v]) for v in self._order)
-        sent_before = len(self.trace.transmissions)
-        outboxes: list[tuple[Hashable, Context]] = []
-        for node in self._order:
+        round_no = self.round_no
+        order = self._order
+        pending = self._spare
+        for inbox in pending.values():  # repro: allow[REPRO001] clearing is order-blind, and the dict is keyed in sorted node order anyway
+            inbox.clear()
+        inboxes, self._pending = self._pending, pending
+        self._spare = inboxes
+        delivered = self._pending_count
+        graph, channel, metrics = self.graph, self.channel, self.metrics
+        protocols = self.protocols
+        observe_delay = metrics.hist_cell("sched.delay")
+        trace = self.trace
+        transmissions = trace.transmissions
+        deliveries = trace.deliveries
+        sent_before = len(transmissions)
+        next_round = round_no + 1
+        outboxes: list[tuple[Hashable, list]] = []
+        for node in order:
+            # Positional construction: the record types are built once
+            # per node/message on this loop, where kwarg binding is
+            # measurable overhead.  Field order is part of their API.
+            outbox: list = []
             ctx = Context(
-                node=node,
-                graph=self.graph,
-                round_no=self.round_no,
-                channel=self.channel,
-                inbox=inboxes[node],
-                now=self.round_no,
-                metrics=self.metrics,
+                node, graph, round_no, channel, inboxes[node], outbox,
+                round_no, metrics,
             )
-            self.protocols[node].on_round(ctx)
-            outboxes.append((node, ctx))
-        for node, ctx in outboxes:
-            for out in ctx.outbox:
-                recipients = self._resolve_recipients(node, out.target)
-                send_index = len(self.trace.transmissions)
-                self.trace.record(
+            protocols[node].on_round(ctx)
+            outboxes.append((node, outbox))
+        sorted_neighbors = graph.sorted_neighbors
+        queued = 0
+        for node, outbox in outboxes:
+            if not outbox:
+                continue
+            # The broadcast recipient set is per-node, not per-message;
+            # unicasts still go through the channel-enforcing resolver.
+            nbrs = sorted_neighbors(node)
+            for out in outbox:
+                message = out.message
+                target = out.target
+                recipients = (
+                    nbrs
+                    if target is None
+                    else self._resolve_recipients(node, target)
+                )
+                send_index = len(transmissions)
+                transmissions.append(
                     Transmission(
-                        round_no=self.round_no,
-                        sender=node,
-                        message=out.message,
-                        target=out.target,
-                        recipients=recipients,
-                        sent_at=self.round_no,
+                        round_no, node, message, target, recipients, round_no
                     )
                 )
                 for r in recipients:
                     # Synchronous delivery: into next round's inbox, so
                     # the virtual delivery timestamp is sent_at + 1 —
                     # exactly what the lockstep scheduler reproduces.
-                    self.trace.record_delivery(
+                    deliveries.append(
                         Delivery(
-                            send_index=send_index,
-                            sender=node,
-                            recipient=r,
-                            message=out.message,
-                            sent_at=self.round_no,
-                            delivered_at=self.round_no + 1,
+                            send_index, node, r, message, round_no, next_round
                         )
                     )
-                    self._pending[r].append((node, out.message))
-                    # The synchronous engine *is* the unit-delay
-                    # scheduler, so it reports the same delay
-                    # distribution the lockstep scheduler would —
-                    # keeping full metric snapshots engine-equal.
-                    self.metrics.observe("sched.delay", 1)
-        if self.trace.rounds < self.round_no:
-            self.trace.rounds = self.round_no
-        self._observe_tick(delivered, len(self.trace.transmissions) - sent_before)
+                    pending[r].append((node, message))
+                queued += len(recipients)
+        # The synchronous engine *is* the unit-delay scheduler, so it
+        # reports the same delay distribution the lockstep scheduler
+        # would — keeping full metric snapshots engine-equal.  Every
+        # delivery has delay exactly 1, so one bulk observation per
+        # round covers them all (``n = 0`` records nothing, not even an
+        # empty bucket).
+        observe_delay(1, queued)
+        self._pending_count = queued
+        if trace.rounds < round_no:
+            trace.rounds = round_no
+        self._observe_tick(delivered, len(transmissions) - sent_before)

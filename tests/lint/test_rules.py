@@ -103,6 +103,14 @@ class TestScoping:
         )
         assert [f.rule for f in active] == ["REPRO001"]
 
+    def test_trace_parts_cover_bitmask_index(self):
+        """The canonical node index orders every trace-visible traversal
+        — it must sit inside the determinism-linted surface."""
+        config = LintConfig()
+        assert config.is_trace_affecting("src/repro/graphs/index.py")
+        assert config.is_trace_affecting("src/repro/consensus/flooding.py")
+        assert config.is_trace_affecting("src/repro/consensus/reliable.py")
+
     def test_repro004_scoped_by_basename(self):
         """The contract follows the module name, not its directory —
         that is what lets the sandbox test lint a *copy* of

@@ -255,3 +255,51 @@ class TestBench:
         path = write_bench(record, tmp_path)
         assert path.name == "BENCH_demo.json"
         assert json.loads(path.read_text())["bench"] == "demo"
+
+
+class TestCells:
+    """Pre-rendered hot-path cells must be snapshot-neutral until used."""
+
+    def test_counter_cell_creates_no_key_until_called(self):
+        reg = MetricsRegistry()
+        cell = reg.counter_cell("flood.accepted", phase="p")
+        assert reg.snapshot()["counters"] == {}
+        cell()
+        cell(3)
+        assert reg.snapshot()["counters"] == {"flood.accepted{phase=p}": 4}
+
+    def test_counter_cell_matches_inc_key(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter_cell("x", rule="ii", phase=1)(2)
+        b.inc("x", 2, phase=1, rule="ii")
+        assert a.snapshot()["counters"] == b.snapshot()["counters"]
+
+    def test_gauge_cell_keeps_max_and_no_key_until_called(self):
+        reg = MetricsRegistry()
+        cell = reg.gauge_cell("flood.path_set.max", phase="p")
+        assert reg.snapshot()["gauges"] == {}
+        cell(5)
+        cell(3)
+        cell(9)
+        assert reg.snapshot()["gauges"] == {"flood.path_set.max{phase=p}": 9}
+
+    def test_observe_zero_count_records_nothing(self):
+        reg = MetricsRegistry()
+        reg.observe("sched.delay", 1, 0)
+        reg.observe("sched.delay", 1, -2)
+        assert reg.snapshot()["histograms"] == {}
+
+    def test_observe_bulk_equals_repeated_singles(self):
+        bulk, singles = MetricsRegistry(), MetricsRegistry()
+        bulk.observe("sched.delay", 1, 4)
+        for _ in range(4):
+            singles.observe("sched.delay", 1)
+        assert bulk.snapshot() == singles.snapshot()
+
+    def test_null_metrics_cells_are_noops(self):
+        cell = NULL_METRICS.counter_cell("x")
+        gauge = NULL_METRICS.gauge_cell("y")
+        cell()
+        cell(5)
+        gauge(7)
+        assert NULL_METRICS.snapshot() == {}
