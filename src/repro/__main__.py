@@ -301,7 +301,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = consensus.run_consensus(
         graph, factory, inputs, f=args.f, faulty=faulty,
         adversary=adversary, channel=channel, scheduler=axis[0],
-        metrics=registry,
+        metrics=registry, flight=bool(args.trace),
     )
     print(f"inputs        : {inputs}")
     print(f"faulty        : {faulty} ({args.adversary if faulty else 'none'})")
@@ -315,6 +315,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"transmissions : {result.transmissions}")
     print(f"max latency   : {result.trace.max_latency}")
     emit_metrics(args, registry, result.metrics, result.timings)
+    if args.trace:
+        assert result.flight is not None
+        result.flight.save(args.trace)
+        print(f"wrote flight recording to {args.trace}")
     return 0 if result.consensus else 1
 
 
@@ -366,6 +370,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         schedulers=schedulers,
         channel_policy=channel_policy,
         metrics=metered,
+        capture=args.capture_policy if args.capture else None,
     )
     text = report.to_json(
         graph=args.graph, f=args.f, workers=args.workers,
@@ -413,6 +418,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             )
             count = events.count
         print(f"wrote {count} events to {args.events}")
+    if args.capture:
+        # One file per retained task, named by canonical task index — the
+        # same index at any --workers, so a capture directory diffs clean
+        # across worker counts.
+        import os
+
+        os.makedirs(args.capture, exist_ok=True)
+        for index in sorted(report.flights):
+            path = os.path.join(args.capture, f"flight-{index:05d}.ndjson")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(report.flights[index])
+        print(f"captured {len(report.flights)} flight recordings "
+              f"({args.capture_policy}) to {args.capture}")
     if args.exit_zero:
         return 0
     return 0 if report.all_consensus else 1
@@ -544,12 +562,20 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from .obs import bench_json, bench_record, check, render_key
 
     if args.flood_receipt:
+        if args.trace:
+            raise SystemExit(
+                "--trace records a simulated run; --flood-receipt is "
+                "analytic (no network events to record)"
+            )
         return _profile_flood_receipt(args)
     graph = parse_graph(args.graph)
     factory = build_factory(args, graph)
     nodes = sorted(graph.nodes, key=repr)
     inputs = {v: i % 2 for i, v in enumerate(nodes)}
-    result = consensus.run_consensus(graph, factory, inputs, f=args.f, metrics=True)
+    result = consensus.run_consensus(
+        graph, factory, inputs, f=args.f, metrics=True,
+        flight=bool(args.trace),
+    )
     report = consensus_sweep(
         graph,
         factory,
@@ -649,7 +675,125 @@ def cmd_profile(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(bench_json(record) + "\n")
         print(f"wrote bench record to {args.output}")
+    if args.trace:
+        # The metered fault-free run's flight: spans land in the header,
+        # so `trace export-chrome` overlays phase spans on the timeline.
+        assert result.flight is not None
+        result.flight.save(args.trace)
+        print(f"wrote flight recording to {args.trace}")
     return 0 if all(entry["ok"] for entry in checks) else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Forensics on a flight recording; exit codes are the contract.
+
+    ``summary``/``critical-path`` exit 0 when the causal record is
+    internally consistent, 1 otherwise.  ``blame`` exits 0 when the
+    anomaly is attributed to faulty nodes, 1 when the run was clean
+    (nothing to blame), 2 when an anomaly could not be attributed —
+    blaming an honest node is a bug in the model, never an exit code.
+    ``replay`` exits 0 on byte-identical re-execution, 1 on divergence,
+    2 when the recording is not replayable.
+    """
+    from .obs import (
+        FlightRecord,
+        FlightReplayError,
+        blame,
+        critical_path,
+        export_chrome,
+        summarize,
+    )
+
+    record = FlightRecord.load(args.file)
+
+    def emit(data: dict) -> None:
+        print(json.dumps(data, indent=2, sort_keys=True, default=repr))
+
+    if args.action == "summary":
+        data = summarize(record)
+        if args.as_json:
+            emit(data)
+        else:
+            run = data["run"]
+            sched = run["scheduler"]
+            print(f"flight  : {args.file}")
+            print(f"  outcome={run['outcome']} rounds={run['rounds']} "
+                  f"n={run['n']} f={run['f']}")
+            print(f"  factory={run['factory']} adversary={run['adversary']} "
+                  f"scheduler={sched['kind'] if sched else 'sync'}")
+            print(f"  events: sends={run['sends']} "
+                  f"deliveries={run['deliveries']} "
+                  f"decisions={run['decisions']} "
+                  f"causal_violations={run['causal_violations']}")
+            print(f"  {'node':<8}{'role':<8}{'sends':>6}{'delivs':>8}"
+                  f"{'decided@':>10}  decision")
+            for row in data["nodes"]:
+                role = "faulty" if row["faulty"] else "honest"
+                decided = row["decided_at"] if row["decided_at"] is not None else "-"
+                decision = row["decision"] if row["decision"] is not None else "-"
+                print(f"  {str(row['node']):<8}{role:<8}{row['sends']:>6}"
+                      f"{row['deliveries']:>8}{str(decided):>10}  {decision}")
+        return 0 if data["run"]["causal_violations"] == 0 else 1
+
+    if args.action == "critical-path":
+        data = critical_path(record)
+        if args.as_json:
+            emit(data)
+        else:
+            print(f"critical path: {data['length']} events, "
+                  f"span={data['span']} ticks "
+                  f"(latency sum={data['latency_sum']}, "
+                  f"consistent={data['consistent']})")
+            print(f"  root cause: {data['root_cause']}")
+            for hop in data["hops"]:
+                print(f"  {hop}")
+        return 0 if data["consistent"] else 1
+
+    if args.action == "blame":
+        data = blame(record)
+        if args.as_json:
+            emit(data)
+        else:
+            print(f"outcome : {data['outcome']} ({data['reason']})")
+            print(f"faulty  : {data['faulty']}")
+            print(f"verdict : {data['verdict']}")
+            print(f"blamed  : {data['blamed']}")
+            for entry in data["frontier"]:
+                print(f"  commission: {entry}")
+            for entry in data["omissions"]:
+                print(f"  omission  : {entry}")
+            for entry in data["timing_suspects"]:
+                print(f"  timing    : {entry}")
+        return {"attributed": 0, "clean": 1, "unattributed": 2}[data["verdict"]]
+
+    if args.action == "export-chrome":
+        payload = export_chrome(record)
+        out = args.output or args.file + ".chrome.json"
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        print(f"wrote {len(payload['traceEvents'])} trace events to {out} "
+              "(load in chrome://tracing or ui.perfetto.dev)")
+        return 0
+
+    if args.action == "replay":
+        from .analysis import replay_flight
+
+        try:
+            outcome = replay_flight(record)
+        except FlightReplayError as exc:
+            print(f"not replayable: {exc}")
+            return 2
+        replayed = outcome.result
+        print(f"replayed: outcome={replayed.outcome} "
+              f"rounds={replayed.rounds} "
+              f"decisions={len(replayed.flight.decides)}")
+        if outcome.identical:
+            print("identical: replay reproduced the recording byte for byte")
+            return 0
+        print(f"DIVERGED: {outcome.diff}")
+        return 1
+
+    raise SystemExit(f"unknown trace action {args.action!r}")
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -738,6 +882,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--events", default="", metavar="FILE",
                    help="write an NDJSON event stream (ticks, spans, "
                         "decisions, result) to FILE; implies metering")
+    p.add_argument("--trace", default="", metavar="FILE",
+                   help="record a causal flight recording (happened-"
+                        "before NDJSON) of the run to FILE; analyze or "
+                        "re-execute it with `python -m repro trace`")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -792,6 +940,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write one NDJSON record event per task (in "
                         "canonical slot order) plus a summary to FILE; "
                         "implies metering")
+    p.add_argument("--capture", default="", metavar="DIR",
+                   help="write flight recordings of captured runs to "
+                        "DIR as flight-<index>.ndjson (index = canonical "
+                        "task index, invariant under --workers)")
+    p.add_argument("--capture-policy", default="anomalies",
+                   choices=["anomalies", "all"],
+                   help="which runs --capture retains: only those that "
+                        "failed to decide (default), or every run")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -819,7 +975,28 @@ def build_parser() -> argparse.ArgumentParser:
                         "to graphs far beyond the simulator (e.g. "
                         "wheel:99); on wheels the delivery count is "
                         "checked against the closed form")
+    p.add_argument("--trace", default="", metavar="FILE",
+                   help="also record a causal flight recording of the "
+                        "metered fault-free run to FILE (header carries "
+                        "the phase spans; see `trace export-chrome`)")
     p.set_defaults(fn=cmd_profile, synchronizer="none")
+
+    p = sub.add_parser(
+        "trace",
+        help="forensics on a flight recording: summary, critical-path, "
+             "blame, export-chrome, replay",
+    )
+    p.add_argument("action",
+                   choices=["summary", "critical-path", "blame",
+                            "export-chrome", "replay"])
+    p.add_argument("file", help="flight recording (NDJSON) to analyze")
+    p.add_argument("--json", dest="as_json", action="store_true",
+                   help="print the full analysis as JSON instead of the "
+                        "human-readable digest")
+    p.add_argument("--output", default="", metavar="FILE",
+                   help="export-chrome: write the Chrome trace-event "
+                        "JSON here (default: <file>.chrome.json)")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser(
         "lint",

@@ -16,6 +16,15 @@ from .requirements import (
     requirement_table,
     smallest_feasible_complete_graph,
 )
+from .replay import (
+    ReplayOutcome,
+    adversary_from_flight,
+    channel_from_flight,
+    factory_from_flight,
+    graph_from_flight,
+    replay_flight,
+    scheduler_from_flight,
+)
 from .sweep import (
     HybridEquivocatorPolicy,
     SweepRecord,
@@ -31,11 +40,18 @@ __all__ = [
     "CostModel",
     "HybridEquivocatorPolicy",
     "HybridRow",
+    "ReplayOutcome",
     "RequirementRow",
     "SweepRecord",
     "SweepReport",
     "SweepTask",
+    "adversary_from_flight",
+    "channel_from_flight",
     "consensus_sweep",
+    "factory_from_flight",
+    "graph_from_flight",
+    "replay_flight",
+    "scheduler_from_flight",
     "equivocation_price",
     "expected_flood_deliveries",
     "expected_wheel_deliveries_at_rim",

@@ -104,6 +104,12 @@ class SweepReport:
     records: List[SweepRecord] = field(default_factory=list)
     metrics: Optional[dict] = None
     timings: Optional[dict] = None
+    #: Captured flight recordings (``capture=`` sweeps only), keyed by
+    #: canonical task index — the same key at any worker count.  Carried
+    #: *outside* :meth:`to_dict` deliberately: the report JSON keeps its
+    #: historical shape, and flight blobs are written to their own files
+    #: by the CLI.
+    flights: Dict[int, str] = field(default_factory=dict)
 
     @property
     def runs(self) -> int:
@@ -272,6 +278,11 @@ class _SweepContext:
     #: Metered sweep: every task runs with a fresh metrics registry and
     #: its snapshot rides the record back to the parent.
     metered: bool = False
+    #: Flight capture policy: ``None`` (off), ``"anomalies"`` (retain a
+    #: recording only for tasks that did not decide cleanly), or
+    #: ``"all"``.  Recordings are keyed by canonical task index, so the
+    #: captured set is worker-count-invariant.
+    capture: Optional[str] = None
 
 
 def sweep_tasks(
@@ -309,13 +320,23 @@ def sweep_tasks(
     return tasks
 
 
-def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
-    """Run one task to a :class:`SweepRecord` (pure given its inputs)."""
+def _execute_task(
+    context: _SweepContext, task: SweepTask
+) -> Tuple[SweepRecord, Optional[str]]:
+    """Run one task (pure given its inputs).
+
+    Returns the :class:`SweepRecord` plus — on capturing sweeps, per the
+    context's ``capture`` policy — the run's flight recording as an
+    NDJSON blob.  The blob's header provenance is the canonical task
+    index, never anything execution-dependent, so capture output is
+    byte-identical at any worker count.
+    """
     adversary = context.adversaries[task.adversary_index]
     scheduler = context.schedulers[task.scheduler_index]
     channel = context.channel
     if context.channel_policy is not None:
         channel = context.channel_policy(task.faulty)
+    capture = context.capture
     result = run_consensus(
         context.graph,
         context.honest_factory,
@@ -326,8 +347,16 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         channel=channel,
         scheduler=scheduler,
         metrics=context.metered,
+        flight=capture is not None,
+        run_spec={"task": task.index} if capture is not None else None,
     )
-    return SweepRecord(
+    blob = None
+    if capture is not None and (
+        capture == "all" or result.outcome != OUTCOME_DECIDED
+    ):
+        assert result.flight is not None
+        blob = result.flight.to_ndjson()
+    record = SweepRecord(
         faulty=task.faulty,
         adversary=adversary.name,
         inputs_name=task.inputs_name,
@@ -341,6 +370,7 @@ def _execute_task(context: _SweepContext, task: SweepTask) -> SweepRecord:
         outcome=result.outcome,
         metrics=result.metrics,
     )
+    return record, blob
 
 
 # Per-worker context, installed once by the pool initializer so each chunk
@@ -360,22 +390,31 @@ def _worker_init(payload: bytes) -> None:
 
 def _worker_run_chunk(
     tasks: Sequence[SweepTask],
-) -> Tuple[List[Tuple[int, SweepRecord, Optional[float]]], Optional[float]]:
+) -> Tuple[
+    List[Tuple[int, SweepRecord, Optional[str], Optional[float]]],
+    Optional[float],
+]:
     """Execute one chunk; returns slotted entries plus the chunk's wall time.
 
-    Per-task and per-chunk wall seconds are measured only on metered
-    sweeps and travel *separately* from the records — they are
-    quarantined timing data, never part of the canonical report body.
+    Each entry is ``(index, record, flight_blob, seconds)``: the flight
+    blob (capturing sweeps only) rides next to — never inside — the
+    record, and per-task/per-chunk wall seconds are measured only on
+    metered sweeps; both stay out of the canonical report body.
     """
     assert _WORKER_CONTEXT is not None, "worker used before initialization"
     metered = _WORKER_CONTEXT.metered
     chunk_watch = Stopwatch() if metered else None
-    entries: List[Tuple[int, SweepRecord, Optional[float]]] = []
+    entries: List[Tuple[int, SweepRecord, Optional[str], Optional[float]]] = []
     for task in tasks:
         task_watch = Stopwatch() if metered else None
-        record = _execute_task(_WORKER_CONTEXT, task)
+        record, blob = _execute_task(_WORKER_CONTEXT, task)
         entries.append(
-            (task.index, record, task_watch.elapsed() if task_watch else None)
+            (
+                task.index,
+                record,
+                blob,
+                task_watch.elapsed() if task_watch else None,
+            )
         )
     return entries, chunk_watch.elapsed() if chunk_watch else None
 
@@ -399,6 +438,7 @@ def consensus_sweep(
     schedulers: Optional[Sequence[SchedulerAxisEntry]] = None,
     channel_policy: Optional[ChannelPolicy] = None,
     metrics: bool = False,
+    capture: Optional[str] = None,
 ) -> SweepReport:
     """Run the full battery and report whether consensus *always* held.
 
@@ -423,9 +463,22 @@ def consensus_sweep(
     (computed from the slotted record list — byte-identical at any
     worker count), and a separate quarantined ``timings`` section
     carries per-task/per-chunk wall time and worker utilization.
+
+    ``capture`` turns on the flight recorder: ``"anomalies"`` retains a
+    replayable :class:`~repro.obs.FlightRecord` NDJSON blob for every
+    task whose outcome was not ``"decided"`` (the forensic default —
+    disagreements, stalls and budget exhaustions arrive with their full
+    causal history attached); ``"all"`` retains every task's recording.
+    Blobs land on :attr:`SweepReport.flights` keyed by canonical task
+    index — the keys and the bytes are identical at any worker count —
+    and never enter the report JSON.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if capture not in (None, "anomalies", "all"):
+        raise ValueError(
+            f"capture must be None, 'anomalies' or 'all', not {capture!r}"
+        )
     if channel is not None and channel_policy is not None:
         raise ValueError("pass either channel or channel_policy, not both")
     adversaries = (
@@ -459,6 +512,7 @@ def consensus_sweep(
         schedulers=scheduler_axis,
         channel_policy=channel_policy,
         metered=metrics,
+        capture=capture,
     )
 
     payload: Optional[bytes] = None
@@ -477,15 +531,20 @@ def consensus_sweep(
     task_seconds: List[Optional[float]] = [None] * len(tasks)
     chunk_stats: List[dict] = []
 
+    flights: Dict[int, str] = {}
     if payload is None:
         records = []
         for t in tasks:
             task_watch = Stopwatch() if metrics else None
-            records.append(_execute_task(context, t))
+            record, blob = _execute_task(context, t)
+            records.append(record)
+            if blob is not None:
+                flights[t.index] = blob
             if task_watch is not None:
                 task_seconds[t.index] = task_watch.elapsed()
         return _assemble_report(
-            records, metrics, 1, total_watch, task_seconds, chunk_stats
+            records, metrics, 1, total_watch, task_seconds, chunk_stats,
+            flights,
         )
 
     slots: List[Optional[SweepRecord]] = [None] * len(tasks)
@@ -501,14 +560,17 @@ def consensus_sweep(
         ]
         for future in as_completed(futures):
             entries, chunk_wall = future.result()
-            for index, record, seconds in entries:
+            for index, record, blob, seconds in entries:
                 slots[index] = record
+                if blob is not None:
+                    flights[index] = blob
                 task_seconds[index] = seconds
             if chunk_wall is not None:
                 chunk_stats.append({"tasks": len(entries), "seconds": chunk_wall})
     assert all(r is not None for r in slots)
     return _assemble_report(
-        list(slots), metrics, n_workers, total_watch, task_seconds, chunk_stats
+        list(slots), metrics, n_workers, total_watch, task_seconds,
+        chunk_stats, flights,
     )  # type: ignore[arg-type]
 
 
@@ -519,16 +581,19 @@ def _assemble_report(
     total_watch: Optional[Stopwatch],
     task_seconds: List[Optional[float]],
     chunk_stats: List[dict],
+    flights: Optional[Dict[int, str]] = None,
 ) -> SweepReport:
     """Slot-ordered records → report, with the canonical metrics merge.
 
     Both :attr:`SweepReport.outcomes` and the metrics merge consume the
     same slotted list — the canonical task order — so neither can drift
     from the other or double-count under any worker count.  All wall
-    numbers go to the quarantined ``timings`` section only.
+    numbers go to the quarantined ``timings`` section only; flight
+    blobs (already keyed by canonical index) attach as-is.
     """
+    flights = flights or {}
     if not metered:
-        return SweepReport(records=records)
+        return SweepReport(records=records, flights=flights)
     merged = merge_snapshots([r.metrics for r in records])
     measured = [s for s in task_seconds if s is not None]
     total_s = total_watch.elapsed() if total_watch is not None else 0.0
@@ -542,4 +607,6 @@ def _assemble_report(
             sum(measured) / (n_workers * total_s) if total_s > 0 else None
         ),
     }
-    return SweepReport(records=records, metrics=merged, timings=timings)
+    return SweepReport(
+        records=records, metrics=merged, timings=timings, flights=flights
+    )

@@ -290,6 +290,12 @@ class Algorithm1Factory:
             self.graph, node, self.f, input_value, oracle=self.oracle
         )
 
+    def flight_spec(self) -> dict:
+        """JSON-ready recipe for the flight recorder (the graph travels
+        separately in the flight header, so replay can rebuild this
+        factory as ``Algorithm1Factory(graph, **spec-minus-kind)``)."""
+        return {"kind": "algorithm1", "f": self.f}
+
     def __reduce__(self):
         # The state dict carries the (warm) oracle across the process
         # boundary, replacing the cold one __init__ builds.

@@ -287,6 +287,11 @@ class Algorithm2Factory:
             self.graph, node, self.f, input_value, oracle=self.oracle
         )
 
+    def flight_spec(self) -> dict:
+        """JSON-ready recipe for the flight recorder (graph travels
+        separately in the flight header)."""
+        return {"kind": "algorithm2", "f": self.f}
+
     def __reduce__(self):
         # The state dict carries the (warm) oracle across the process
         # boundary; its own __reduce__ ships just the structural memos.

@@ -48,6 +48,11 @@ class Algorithm3Factory:
             self.graph, node, self.f, self.t, input_value, oracle=self.oracle
         )
 
+    def flight_spec(self) -> dict:
+        """JSON-ready recipe for the flight recorder (graph travels
+        separately in the flight header)."""
+        return {"kind": "algorithm3", "f": self.f, "t": self.t}
+
     def __reduce__(self):
         # Carry the (warm) oracle across the process boundary.
         return (

@@ -418,6 +418,11 @@ class AsyncFactory:
             oracle=self.oracle, patience=self.patience,
         )
 
+    def flight_spec(self) -> dict:
+        """JSON-ready recipe for the flight recorder (graph travels
+        separately in the flight header)."""
+        return {"kind": "async", "f": self.f, "patience": self.patience}
+
     def __reduce__(self):
         # Carry the (warm) oracle across the process boundary.
         return (

@@ -132,6 +132,11 @@ class EIGFactory:
     def __call__(self, node: Hashable, input_value: int) -> EIGProtocol:
         return EIGProtocol(self.graph, node, self.f, input_value)
 
+    def flight_spec(self) -> dict:
+        """JSON-ready recipe for the flight recorder (graph travels
+        separately in the flight header)."""
+        return {"kind": "eig", "f": self.f}
+
 
 def eig_factory(graph: Graph, f: int) -> EIGFactory:
     """Honest-protocol factory for :class:`EIGProtocol`."""
@@ -272,6 +277,11 @@ class DolevEIGFactory:
 
     def __call__(self, node: Hashable, input_value: int) -> DolevEIGProtocol:
         return DolevEIGProtocol(self.graph, node, self.f, input_value)
+
+    def flight_spec(self) -> dict:
+        """JSON-ready recipe for the flight recorder (graph travels
+        separately in the flight header)."""
+        return {"kind": "dolev-eig", "f": self.f}
 
 
 def dolev_eig_factory(graph: Graph, f: int) -> DolevEIGFactory:

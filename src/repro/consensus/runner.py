@@ -9,7 +9,7 @@ structured verdict, so tests and benchmarks stay declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Union
 
 from ..graphs import Graph
@@ -19,7 +19,13 @@ from ..net.node import Protocol
 from ..net.sched import EventDrivenNetwork, SchedulerSpec
 from ..net.simulator import SimulationError, SynchronousNetwork
 from ..net.trace import Trace
-from ..obs import MetricsRegistry, WallTimings
+from ..obs import (
+    FlightRecord,
+    MetricsRegistry,
+    WallTimings,
+    encode_label,
+    flight_from_trace,
+)
 
 
 #: The four ways a run can end (``ConsensusResult.outcome``).
@@ -57,6 +63,14 @@ class ConsensusResult:
     #: QUARANTINED wall-clock timings when metered.  Never compare these
     #: for determinism — strip via :func:`repro.obs.strip_timings`.
     timings: Optional[dict] = field(default=None, compare=False)
+    #: The causal flight recording (``run_consensus(..., flight=True)``
+    #: only): header + happened-before event stream + outcome as a
+    #: replayable :class:`~repro.obs.FlightRecord`.  Derived entirely
+    #: from the trace and the run's configuration, so it is excluded
+    #: from equality like the trace-derived counters above it.
+    flight: Optional[FlightRecord] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def honest_outputs(self) -> Dict[Hashable, Optional[int]]:
@@ -130,6 +144,8 @@ def run_consensus(
     max_rounds: Optional[int] = None,
     scheduler: Optional[SchedulerSpec] = None,
     metrics: Union[bool, MetricsRegistry, None] = None,
+    flight: bool = False,
+    run_spec: Optional[Mapping] = None,
 ) -> ConsensusResult:
     """Run one consensus execution and evaluate the three properties.
 
@@ -151,6 +167,15 @@ def run_consensus(
     with an NDJSON event log attached) uses it.  The canonical snapshot
     lands on ``ConsensusResult.metrics`` and the wall-clock duration —
     quarantined — on ``ConsensusResult.timings``.
+
+    ``flight=True`` records the run as a causal flight recording
+    (:class:`~repro.obs.FlightRecord` on ``ConsensusResult.flight``):
+    the full happened-before event stream plus everything needed to
+    re-execute the run byte-identically
+    (:func:`repro.analysis.replay_flight`).  ``run_spec`` is an optional
+    JSON-ready dict stored verbatim in the flight header (provenance —
+    e.g. the sweep task index that produced the recording); it must be
+    canonical itself, since replay byte-compares headers.
     """
     faulty_set = frozenset(faulty)
     unknown = faulty_set - graph.nodes
@@ -260,6 +285,7 @@ def run_consensus(
                 net.run_until_decided(max_rounds, honest=set(honest))
             except SimulationError:
                 pass  # non-termination is reported through the result, not raised
+    snapshot = registry.snapshot() if registry is not None else None
     result = ConsensusResult(
         outputs=net.outputs(),
         honest=honest,
@@ -270,9 +296,29 @@ def run_consensus(
         deliveries=net.trace.delivery_count,
         trace=net.trace,
         stalled=stalled,
-        metrics=registry.snapshot() if registry is not None else None,
+        metrics=snapshot,
         timings=timer.snapshot() if registry is not None else None,
     )
+    if flight:
+        header = _flight_header(
+            graph, inputs, f, faulty_set, adversary, channel, scheduler,
+            max_rounds, honest_factory, snapshot, run_spec,
+        )
+        outcome_line = {
+            "type": "outcome",
+            "outcome": result.outcome,
+            "stalled": result.stalled,
+            "rounds": result.rounds,
+            "outputs": [
+                [encode_label(v), result.outputs[v]]
+                for v in sorted(result.outputs, key=repr)
+            ],
+        }
+        # The result dataclass is frozen for callers; the recording is
+        # derived data attached once here, before the result escapes.
+        object.__setattr__(
+            result, "flight", flight_from_trace(net.trace, header, outcome_line)
+        )
     if registry is not None:
         registry.emit(
             "result",
@@ -283,6 +329,78 @@ def run_consensus(
             deliveries=result.deliveries,
         )
     return result
+
+
+def _flight_header(
+    graph: Graph,
+    inputs: Mapping[Hashable, int],
+    f: int,
+    faulty_set: FrozenSet[Hashable],
+    adversary: Optional[Adversary],
+    channel: ChannelModel,
+    scheduler: Optional[SchedulerSpec],
+    max_rounds: int,
+    honest_factory: HonestFactory,
+    snapshot: Optional[dict],
+    run_spec: Optional[Mapping],
+) -> dict:
+    """The flight header: everything a replay needs, JSON-canonical.
+
+    Factories publish their own rebuild recipe via a duck-typed
+    ``flight_spec()``; one without it is recorded as opaque — the flight
+    stays fully analyzable, and only ``replay`` refuses it.  The
+    adversary is recorded by battery name (plus its seed/crash knobs
+    when present), the scheduler as its frozen spec fields, and
+    ``max_rounds`` as the *resolved* budget so replay never re-derives.
+    """
+    spec_fn = getattr(honest_factory, "flight_spec", None)
+    factory_spec = (
+        spec_fn()
+        if callable(spec_fn)
+        else {"kind": "opaque", "repr": repr(honest_factory)}
+    )
+    adversary_spec = None
+    if adversary is not None:
+        adversary_spec = {
+            "name": adversary.name,
+            "seed": getattr(adversary, "seed", None),
+        }
+        crash_round = getattr(adversary, "crash_round", None)
+        if crash_round is not None:
+            adversary_spec["crash_round"] = crash_round
+    nodes = sorted(graph.nodes, key=repr)
+    edge_pairs = sorted(
+        (tuple(sorted(edge, key=repr)) for edge in graph.edges()), key=repr
+    )
+    header = {
+        "type": "header",
+        "version": 1,
+        "graph": {
+            "nodes": [encode_label(v) for v in nodes],
+            "edges": [
+                [encode_label(u), encode_label(v)] for u, v in edge_pairs
+            ],
+        },
+        "f": f,
+        "faulty": [encode_label(v) for v in sorted(faulty_set, key=repr)],
+        "inputs": [[encode_label(v), inputs[v]] for v in nodes],
+        "adversary": adversary_spec,
+        "channel": {
+            "kind": channel.kind,
+            "equivocators": [
+                encode_label(v)
+                for v in sorted(channel.equivocators, key=repr)
+            ],
+        },
+        "scheduler": None if scheduler is None else asdict(scheduler),
+        "max_rounds": max_rounds,
+        "factory": factory_spec,
+        "metered": snapshot is not None,
+        "spec": dict(run_spec) if run_spec else {},
+    }
+    if snapshot is not None:
+        header["spans"] = snapshot.get("spans", [])
+    return header
 
 
 def _run_message_driven(net, max_ticks: int, honest: FrozenSet[Hashable]) -> bool:

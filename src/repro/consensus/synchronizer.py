@@ -255,6 +255,11 @@ class AlphaSynchronizer(Protocol):
             inbox=inbox,
             now=self.logical_round,
             metrics=ctx.metrics,
+            # The engine-level cause of the activation driving this
+            # logical round; buffered arrivals from earlier ticks are
+            # still in the causal past via their own delivery records.
+            cause_kind=ctx.cause_kind,
+            cause_index=ctx.cause_index,
         )
         self.inner.on_round(shadow)
         for out in shadow.outbox:
@@ -313,6 +318,25 @@ class SynchronizedFactory:
             f=self.f,
             ack_timeout=self.ack_timeout,
         )
+
+    def flight_spec(self) -> dict:
+        """JSON-ready recipe for the flight recorder: this wrapper's
+        knobs plus the inner factory's own spec (replay rebuilds
+        inside-out).  An inner factory without a ``flight_spec`` is
+        recorded as opaque — the flight stays analyzable, not replayable."""
+        inner_spec = getattr(self.inner, "flight_spec", None)
+        return {
+            "kind": "synchronized",
+            "window": self.window,
+            "mode": self.mode,
+            "f": self.f,
+            "ack_timeout": self.ack_timeout,
+            "inner": (
+                inner_spec()
+                if callable(inner_spec)
+                else {"kind": "opaque", "repr": repr(self.inner)}
+            ),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -89,7 +89,7 @@ class _WrapperProtocol(Protocol):
     def on_round(self, ctx: Context) -> None:
         shadow = Context(
             ctx.node, ctx.graph, ctx.round_no, ctx.channel, ctx.inbox,
-            [], ctx.now, ctx.metrics,
+            [], ctx.now, ctx.metrics, ctx.cause_kind, ctx.cause_index,
         )
         self.inner.on_round(shadow)
         for message, target in self.transform(

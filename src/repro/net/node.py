@@ -54,6 +54,16 @@ class Context:
     unconditionally — counting against :data:`~repro.obs.NULL_METRICS`
     costs one method call.  Wrappers that re-activate an inner protocol
     through a shadow context must propagate it.
+
+    ``cause_kind``/``cause_index`` carry this activation's
+    happened-before cause, stamped by the engine: ``"delivery"`` with
+    the trace index of the last delivery that landed in this inbox, or
+    ``"input"``/``"timer"`` for spontaneous activations (first tick /
+    later schedule-driven ticks with an empty inbox).  Every
+    transmission queued during the activation inherits this cause in
+    the trace, which is what makes the recorded trace a causal DAG the
+    flight recorder (:mod:`repro.obs.trace`) can replay and walk.
+    Wrappers propagate both fields alongside ``metrics``.
     """
 
     node: Hashable
@@ -64,6 +74,8 @@ class Context:
     outbox: List[Outgoing] = field(default_factory=list)
     now: Optional[int] = None
     metrics: object = NULL_METRICS
+    cause_kind: Optional[str] = None
+    cause_index: Optional[int] = None
 
     @property
     def virtual_now(self) -> int:

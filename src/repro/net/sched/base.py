@@ -42,7 +42,14 @@ from ...obs import NULL_METRICS, MetricsRegistry
 from ..channels import ChannelModel
 from ..node import Context, Inbox, Protocol
 from ..simulator import NetworkEngine
-from ..trace import Delivery, Transmission
+from ..trace import (
+    CAUSE_DELIVERY,
+    CAUSE_INPUT,
+    CAUSE_TIMER,
+    Decision,
+    Delivery,
+    Transmission,
+)
 from .events import DeliveryEvent, SendEvent
 
 
@@ -170,14 +177,26 @@ class EventDrivenNetwork(NetworkEngine):
         now = self.round_no
         # Drain every delivery due by `now` into the recipients' inboxes
         # in (time, seq) order — the arrival order protocols observe.
+        # The last event drained per recipient is that activation's
+        # primary happened-before cause.
+        cause_now: Dict[Hashable, int] = {}
         while self._events and self._events[0][0] <= now:
             _, _, event = heapq.heappop(self._events)
             self._arrived[event.recipient].append((event.sender, event.message))
+            cause_now[event.recipient] = event.index
         inboxes, self._arrived = self._arrived, {v: [] for v in self._order}
         delivered = sum(len(inboxes[v]) for v in self._order)
         sent_before = len(self.trace.transmissions)
+        decisions = self.trace.decisions
+        undecided = self._undecided
         outboxes: list[tuple[Hashable, Context]] = []
         for node in self._order:
+            ci = cause_now.get(node)
+            ck = (
+                CAUSE_DELIVERY
+                if ci is not None
+                else (CAUSE_INPUT if now == 1 else CAUSE_TIMER)
+            )
             ctx = Context(
                 node=node,
                 graph=self.graph,
@@ -186,13 +205,23 @@ class EventDrivenNetwork(NetworkEngine):
                 inbox=inboxes[node],
                 now=now,
                 metrics=self.metrics,
+                cause_kind=ck,
+                cause_index=ci,
             )
             self.protocols[node].on_round(ctx)
+            if node in undecided:
+                value = self.protocols[node].output()
+                if value is not None:
+                    undecided.discard(node)
+                    decisions.append(Decision(node, value, now, ck, ci))
             outboxes.append((node, ctx))
         for node, ctx in outboxes:
             for out in ctx.outbox:
                 recipients = self._resolve_recipients(node, out.target)
-                self._dispatch(node, out.message, out.target, recipients, now)
+                self._dispatch(
+                    node, out.message, out.target, recipients, now,
+                    ctx.cause_kind, ctx.cause_index,
+                )
         if self.trace.rounds < self.round_no:
             self.trace.rounds = self.round_no
         self._observe_tick(delivered, len(self.trace.transmissions) - sent_before)
@@ -204,6 +233,8 @@ class EventDrivenNetwork(NetworkEngine):
         target: Optional[Hashable],
         recipients: Tuple[Hashable, ...],
         now: int,
+        cause_kind: Optional[str] = None,
+        cause_index: Optional[int] = None,
     ) -> None:
         """Timestamp one send via the scheduler and enqueue deliveries."""
         send = SendEvent(
@@ -225,6 +256,8 @@ class EventDrivenNetwork(NetworkEngine):
                 target=target,
                 recipients=recipients,
                 sent_at=now,
+                cause_kind=cause_kind,
+                cause_index=cause_index,
             )
         )
         for recipient in recipients:
@@ -234,6 +267,7 @@ class EventDrivenNetwork(NetworkEngine):
                     f"{self.scheduler.name}: delivery at {when} not after "
                     f"send at {now} ({node!r} -> {recipient!r})"
                 )
+            delivery_index = len(self.trace.deliveries)
             self.trace.record_delivery(
                 Delivery(
                     send_index=send_index,
@@ -256,6 +290,7 @@ class EventDrivenNetwork(NetworkEngine):
                         recipient=recipient,
                         message=message,
                         sent_at=now,
+                        index=delivery_index,
                     ),
                 ),
             )

@@ -48,7 +48,12 @@ class SendEvent:
 
 @dataclass(frozen=True, slots=True)
 class DeliveryEvent:
-    """One pending (message, recipient) delivery at virtual ``time``."""
+    """One pending (message, recipient) delivery at virtual ``time``.
+
+    ``index`` is the position of the matching
+    :class:`~repro.net.trace.Delivery` record in the run's trace, so the
+    engine can stamp each activation's happened-before cause (the last
+    event drained into that inbox) without any content-based join."""
 
     time: int
     seq: int
@@ -56,3 +61,4 @@ class DeliveryEvent:
     recipient: Hashable
     message: object
     sent_at: int
+    index: int = -1

@@ -35,7 +35,15 @@ from ..graphs import Graph
 from ..obs import NULL_METRICS, MetricsRegistry
 from .channels import ChannelModel, local_broadcast_model
 from .node import Context, Inbox, Protocol
-from .trace import Delivery, Trace, Transmission
+from .trace import (
+    CAUSE_DELIVERY,
+    CAUSE_INPUT,
+    CAUSE_TIMER,
+    Decision,
+    Delivery,
+    Trace,
+    Transmission,
+)
 
 
 class SimulationError(RuntimeError):
@@ -84,6 +92,18 @@ class NetworkEngine:
         self._c_quiescent = m.counter_cell("net.quiescent_ticks")
         self._h_deliveries_per_tick = m.hist_cell("net.deliveries_per_tick")
         self._g_in_flight = m.gauge_cell("net.in_flight.max")
+        # Decision instants are part of the trace (the flight recorder's
+        # blame analysis anchors on them).  A protocol that is already
+        # decided at construction decided on its input alone, before any
+        # communication — virtual time 0.
+        self._undecided = set(self._order)
+        for node in self._order:
+            value = self.protocols[node].output()
+            if value is not None:
+                self._undecided.discard(node)
+                self.trace.record_decision(
+                    Decision(node, value, 0, CAUSE_INPUT, None)
+                )
 
     # ------------------------------------------------------------------
     def step(self) -> None:
@@ -193,6 +213,10 @@ class SynchronousNetwork(NetworkEngine):
         # across rounds (the :class:`Context` contract), so the lists
         # are free for reuse once their round has run.
         self._spare: Dict[Hashable, Inbox] = {v: [] for v in self._order}
+        # Per-recipient index (into trace.deliveries) of the last
+        # delivery landing in next round's inbox — the primary
+        # happened-before cause of whatever that activation emits.
+        self._cause: Dict[Hashable, int] = {}
 
     @property
     def in_flight(self) -> int:
@@ -231,21 +255,36 @@ class SynchronousNetwork(NetworkEngine):
         deliveries = trace.deliveries
         sent_before = len(transmissions)
         next_round = round_no + 1
-        outboxes: list[tuple[Hashable, list]] = []
+        cause_now = self._cause
+        self._cause = cause_next = {}
+        undecided = self._undecided
+        decisions = trace.decisions
+        outboxes: list[tuple[Hashable, list, Optional[str], Optional[int]]] = []
         for node in order:
             # Positional construction: the record types are built once
             # per node/message on this loop, where kwarg binding is
             # measurable overhead.  Field order is part of their API.
             outbox: list = []
+            ci = cause_now.get(node)
+            ck = (
+                CAUSE_DELIVERY
+                if ci is not None
+                else (CAUSE_INPUT if round_no == 1 else CAUSE_TIMER)
+            )
             ctx = Context(
                 node, graph, round_no, channel, inboxes[node], outbox,
-                round_no, metrics,
+                round_no, metrics, ck, ci,
             )
             protocols[node].on_round(ctx)
-            outboxes.append((node, outbox))
+            if node in undecided:
+                value = protocols[node].output()
+                if value is not None:
+                    undecided.discard(node)
+                    decisions.append(Decision(node, value, round_no, ck, ci))
+            outboxes.append((node, outbox, ck, ci))
         sorted_neighbors = graph.sorted_neighbors
         queued = 0
-        for node, outbox in outboxes:
+        for node, outbox, ck, ci in outboxes:
             if not outbox:
                 continue
             # The broadcast recipient set is per-node, not per-message;
@@ -262,13 +301,15 @@ class SynchronousNetwork(NetworkEngine):
                 send_index = len(transmissions)
                 transmissions.append(
                     Transmission(
-                        round_no, node, message, target, recipients, round_no
+                        round_no, node, message, target, recipients, round_no,
+                        ck, ci,
                     )
                 )
                 for r in recipients:
                     # Synchronous delivery: into next round's inbox, so
                     # the virtual delivery timestamp is sent_at + 1 —
                     # exactly what the lockstep scheduler reproduces.
+                    cause_next[r] = len(deliveries)
                     deliveries.append(
                         Delivery(
                             send_index, node, r, message, round_no, next_round

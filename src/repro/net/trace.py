@@ -28,13 +28,38 @@ from typing import Hashable, List, Optional, Tuple
 # mutate a record after it is appended to a trace.
 
 
+#: The three ways a send (or decision) can be caused (happened-before
+#: semantics): ``"delivery"`` — emitted while processing an inbox, the
+#: primary parent being the last delivery that landed this activation;
+#: ``"input"`` — spontaneous at the first activation (driven by the
+#: node's initial state, i.e. its input value); ``"timer"`` — spontaneous
+#: at a later activation (driven by the protocol's round schedule or a
+#: local patience timer, not by any arrival).
+CAUSE_DELIVERY = "delivery"
+CAUSE_INPUT = "input"
+CAUSE_TIMER = "timer"
+
+
 @dataclass(slots=True, unsafe_hash=True)
 class Transmission:
     """One send event.  ``target is None`` means local broadcast;
     ``recipients`` is the realized delivery set (the sender's neighbors
     for a broadcast, the single target otherwise).  ``sent_at`` is the
     virtual timestamp of the send — equal to ``round_no`` under the
-    synchronous simulator and the lockstep scheduler."""
+    synchronous simulator and the lockstep scheduler.
+
+    ``cause_kind``/``cause_index`` are the happened-before parent link:
+    ``cause_kind`` classifies what provoked the activation that emitted
+    this send (:data:`CAUSE_DELIVERY` / :data:`CAUSE_INPUT` /
+    :data:`CAUSE_TIMER`) and, for ``"delivery"``, ``cause_index`` is the
+    position in ``Trace.deliveries`` of the *primary* cause — the last
+    delivery that landed in the emitting activation's inbox.  The full
+    parent set of a send is every delivery to its sender with
+    ``delivered_at == sent_at`` (both engines drain exactly those into
+    the activation's inbox), so the trace is a happened-before DAG:
+    delivery → its transmission via ``send_index``, transmission → the
+    deliveries of its activation via timestamps, with ``cause_index``
+    as the recorded primary edge."""
 
     round_no: int
     sender: Hashable
@@ -42,6 +67,8 @@ class Transmission:
     target: Optional[Hashable]
     recipients: Tuple[Hashable, ...]
     sent_at: Optional[int] = None
+    cause_kind: Optional[str] = None
+    cause_index: Optional[int] = None
 
 
 @dataclass(slots=True, unsafe_hash=True)
@@ -67,6 +94,24 @@ class Delivery:
         return self.delivered_at - self.sent_at
 
 
+@dataclass(slots=True, unsafe_hash=True)
+class Decision:
+    """The instant a node's ``output()`` first became non-``None``.
+
+    ``decided_at`` is the virtual tick of the activation that produced
+    the output (0 for a protocol that was already decided at
+    construction).  ``cause_kind``/``cause_index`` follow the same
+    happened-before convention as :class:`Transmission`: the primary
+    cause of a ``"delivery"``-caused decision is the last delivery in
+    the deciding activation's inbox."""
+
+    node: Hashable
+    value: int
+    decided_at: int
+    cause_kind: Optional[str] = None
+    cause_index: Optional[int] = None
+
+
 @dataclass(slots=True)
 class Trace:
     """An append-only log of transmissions plus run metadata.
@@ -80,6 +125,7 @@ class Trace:
     transmissions: List[Transmission] = field(default_factory=list)
     deliveries: List[Delivery] = field(default_factory=list)
     rounds: int = 0
+    decisions: List[Decision] = field(default_factory=list)
 
     def record(self, t: Transmission) -> None:
         self.transmissions.append(t)
@@ -88,6 +134,35 @@ class Trace:
 
     def record_delivery(self, d: Delivery) -> None:
         self.deliveries.append(d)
+
+    def record_decision(self, d: Decision) -> None:
+        self.decisions.append(d)
+
+    # ------------------------------------------------------------------
+    # Happened-before joins
+    # ------------------------------------------------------------------
+    def transmission_of(self, delivery: Delivery) -> Transmission:
+        """The send a delivery descends from (stable ``send_index`` join)."""
+        return self.transmissions[delivery.send_index]
+
+    def deliveries_of(self, send_index: int) -> list[Delivery]:
+        """Every per-recipient delivery of one transmission, in order."""
+        return [d for d in self.deliveries if d.send_index == send_index]
+
+    def causes_of(self, transmission: Transmission) -> list[Delivery]:
+        """The full happened-before parent set of one send: every
+        delivery that landed in the inbox of the activation that emitted
+        it (``recipient == sender`` and ``delivered_at == sent_at``).
+        The recorded ``cause_index`` is always the last element (the
+        primary cause) when this list is non-empty."""
+        if transmission.sent_at is None:
+            return []
+        return [
+            d
+            for d in self.deliveries
+            if d.recipient == transmission.sender
+            and d.delivered_at == transmission.sent_at
+        ]
 
     # ------------------------------------------------------------------
     # Accounting

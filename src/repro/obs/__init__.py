@@ -29,10 +29,29 @@ from .registry import (
 )
 from .spans import SpanTracer
 from .timings import Stopwatch, WallTimings
+from .trace import (
+    CausalDag,
+    FlightError,
+    FlightRecord,
+    FlightReplayError,
+    blame,
+    canonical_json,
+    critical_path,
+    decode_label,
+    encode_label,
+    export_chrome,
+    flight_from_trace,
+    label_key,
+    summarize,
+)
 
 __all__ = [
     "BENCH_SCHEMA",
+    "CausalDag",
     "EventLog",
+    "FlightError",
+    "FlightRecord",
+    "FlightReplayError",
     "MetricsRegistry",
     "NULL_METRICS",
     "NullMetrics",
@@ -42,9 +61,18 @@ __all__ = [
     "bench_json",
     "bench_path",
     "bench_record",
+    "blame",
+    "canonical_json",
     "check",
+    "critical_path",
+    "decode_label",
+    "encode_label",
+    "export_chrome",
+    "flight_from_trace",
+    "label_key",
     "merge_snapshots",
     "render_key",
     "strip_timings",
+    "summarize",
     "write_bench",
 ]

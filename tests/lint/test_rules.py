@@ -111,6 +111,14 @@ class TestScoping:
         assert config.is_trace_affecting("src/repro/consensus/flooding.py")
         assert config.is_trace_affecting("src/repro/consensus/reliable.py")
 
+    def test_trace_parts_cover_flight_recorder(self):
+        """Flight recordings are canonical NDJSON — any unordered
+        iteration in the recorder would break replay byte-identity, so
+        obs/trace.py must sit inside the determinism-linted surface."""
+        config = LintConfig()
+        assert config.is_trace_affecting("src/repro/obs/trace.py")
+        assert config.is_trace_affecting("src/repro/analysis/replay.py")
+
     def test_repro004_scoped_by_basename(self):
         """The contract follows the module name, not its directory —
         that is what lets the sandbox test lint a *copy* of

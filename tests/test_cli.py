@@ -403,3 +403,91 @@ class TestProfileCommand:
                      "--algorithm", "async", "--fault-limit", "2"])
         assert code == 0
         assert "round_budget" not in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    DISAGREED = [
+        "run", "--graph", "wheel:5", "--f", "1", "--algorithm", "2",
+        "--faulty", "0", "--adversary", "tamper-forward",
+        "--scheduler", "seeded-async", "--seed", "7", "--max-delay", "3",
+    ]
+
+    def _record(self, tmp_path, capsys, extra=()):
+        path = tmp_path / "flight.ndjson"
+        code = main(self.DISAGREED + list(extra) + ["--trace", str(path)])
+        capsys.readouterr()
+        assert code == 1  # disagreement, by design of the corpus
+        return path
+
+    def test_summary(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        assert main(["trace", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "outcome=disagreed" in out
+        assert "causal_violations=0" in out
+
+    def test_critical_path_consistent(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        assert main(["trace", "critical-path", str(path)]) == 0
+        assert "consistent=True" in capsys.readouterr().out
+
+    def test_blame_exit_codes(self, tmp_path, capsys):
+        """The forensic contract: 0 = attributed (and only faulty nodes
+        named), 1 = clean run, 2 would be unattributed."""
+        path = self._record(tmp_path, capsys)
+        assert main(["trace", "blame", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["verdict"] == "attributed"
+        assert report["blamed"] == [0]
+
+        clean = tmp_path / "clean.ndjson"
+        assert main(["run", "--graph", "cycle:4", "--f", "1",
+                     "--algorithm", "2", "--trace", str(clean)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "blame", str(clean)]) == 1
+        assert "verdict : clean" in capsys.readouterr().out
+
+    def test_replay_byte_identical(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        assert main(["trace", "replay", str(path)]) == 0
+        assert "byte for byte" in capsys.readouterr().out
+
+    def test_export_chrome(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        out_file = tmp_path / "trace.chrome.json"
+        assert main(["trace", "export-chrome", str(path),
+                     "--output", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["traceEvents"]
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "s", "f", "M"} <= phases
+
+    def test_sweep_capture_writes_anomaly_flights(self, tmp_path, capsys):
+        capture = tmp_path / "cap"
+        code = main([
+            "sweep", "--graph", "wheel:5", "--f", "1", "--algorithm", "2",
+            "--scheduler", "seeded-async", "--seed", "7", "--max-delay", "3",
+            "--patterns", "alternating", "--fault-limit", "2",
+            "--workers", "2", "--exit-zero",
+            "--capture", str(capture), "--output", str(tmp_path / "r.json"),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        blobs = sorted(capture.glob("flight-*.ndjson"))
+        assert blobs, "the corpus is known to contain anomalies"
+        # Every captured blob is immediately analyzable and attributed.
+        assert main(["trace", "blame", str(blobs[0])]) == 0
+        capsys.readouterr()
+
+    def test_profile_trace_records_metered_run(self, tmp_path, capsys):
+        path = tmp_path / "prof.ndjson"
+        assert main(["profile", "--graph", "cycle:5", "--f", "1",
+                     "--algorithm", "2", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "replay", str(path)]) == 0
+        assert "byte for byte" in capsys.readouterr().out
+
+    def test_profile_trace_rejects_flood_receipt(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--graph", "wheel:9", "--f", "1",
+                  "--flood-receipt", "--trace", "x.ndjson"])
