@@ -12,12 +12,31 @@ per side), checks 2f-connectivity, and runs Algorithm 2 (Appendix C):
 * honest stations localize the faulty station from overheard reports
   (becoming "type A") and agree in exactly 3n rounds.
 
+Radio links are not always reciprocal: transmit power and terrain can
+make station u audible to station v but not vice versa.  The second
+half of the example re-runs the same scenario on a *true digraph* — the
+mesh's symmetric lift, which must agree with the undirected emulation
+outcome-for-outcome — and then on a genuinely one-way relay ring, where
+feasibility itself moves: the directed max f is strictly below the
+symmetric closure's.
+
 Run:  python examples/radio_network.py
 """
 
-from repro.consensus import algorithm2_factory, check_local_broadcast
+from repro.consensus import (
+    algorithm2_factory,
+    check_directed_local_broadcast,
+    check_local_broadcast,
+    max_f_directed_local_broadcast,
+    max_f_local_broadcast,
+)
 from repro.consensus.runner import run_consensus
-from repro.graphs import circulant_graph, is_k_connected
+from repro.graphs import (
+    circulant_graph,
+    directed_vertex_connectivity,
+    is_k_connected,
+    oneway_ring,
+)
 from repro.net import FaultSpec, SynchronousNetwork, TamperForwardAdversary
 from repro.net.channels import local_broadcast_model
 
@@ -77,6 +96,49 @@ def main() -> None:
         mesh, factory, inputs, f=f, faulty=[byzantine], adversary=adversary
     )
     print(f"Efficient algorithm rounds: {result.rounds} (bound 3n = {3 * n})")
+
+    # ------------------------------------------------------------------
+    # The same mesh as a true digraph.  ``to_digraph()`` lifts every
+    # radio link into two one-way arcs; the protocol stack reads
+    # directions natively (out-arcs = who hears me, in-arcs = whom I
+    # hear), so the old undirected emulation and the native digraph run
+    # must land on identical outcomes.
+    digraph = mesh.to_digraph()
+    print(f"\n=== Native digraph: {digraph.n} stations, "
+          f"{digraph.arc_count} one-way links ===")
+    print(f"strong connectivity: {directed_vertex_connectivity(digraph)}")
+    directed_result = run_consensus(
+        digraph, algorithm2_factory(digraph, f), inputs,
+        f=f, faulty=[byzantine], adversary=TamperForwardAdversary(),
+    )
+    assert directed_result.consensus == result.consensus
+    assert directed_result.decision == result.decision
+    assert directed_result.rounds == result.rounds
+    print("emulation vs native digraph: outcomes agree "
+          f"(decision={directed_result.decision}, "
+          f"rounds={directed_result.rounds})")
+
+    # A genuinely one-way relay ring: every station forwards to the next
+    # two stations clockwise but hears only counter-clockwise.  The
+    # symmetric closure looks comfortably feasible (max f = 2); the real
+    # directed topology supports only f = 1.
+    relay = oneway_ring(9, 2)
+    print(f"\n=== One-way relay ring: {relay.n} stations, "
+          f"{relay.arc_count} one-way links ===")
+    print(check_directed_local_broadcast(relay, 1))
+    directed_max = max_f_directed_local_broadcast(relay)
+    closure_max = max_f_local_broadcast(relay.to_undirected())
+    print(f"max f directed: {directed_max}; "
+          f"symmetric closure pretends: {closure_max}")
+    assert directed_max < closure_max
+    ring_result = run_consensus(
+        relay, algorithm2_factory(relay, 1),
+        {v: v % 2 for v in relay.nodes},
+        f=1, faulty=[0], adversary=TamperForwardAdversary(),
+    )
+    assert ring_result.consensus
+    print(f"one-way ring decides {ring_result.decision} "
+          f"in {ring_result.rounds} rounds despite station 0 tampering")
 
 
 if __name__ == "__main__":

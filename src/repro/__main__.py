@@ -15,6 +15,8 @@ Usage::
 Graph specs: ``cycle:N``, ``complete:N``, ``path:N``, ``wheel:N``,
 ``circulant:N:d1,d2``, ``harary:K:N``, ``petersen``, ``fig1a``,
 ``fig1b``, ``random_regular:N:D[:SEED]``, ``gnp:N[:C[:SEED]]``.
+Directed specs (true digraphs — every command accepts them):
+``random_digraph:N:P[:SEED]`` and ``oneway:N[:K]``.
 
 Schedulers (``run``/``sweep`` ``--scheduler``): ``sync`` (the default
 synchronous simulator), ``lockstep`` (event-driven core, trace-identical
@@ -58,10 +60,55 @@ from .net.channels import local_broadcast_model
 from .net.sched import SCHEDULER_KINDS, parse_scheduler
 
 
+def _spec_int(spec: str, token: str, what: str) -> int:
+    """Parse one integer field of a graph spec, failing loudly: the bare
+    ``ValueError`` out of ``int()`` names neither the spec nor the field."""
+    try:
+        return int(token)
+    except ValueError:
+        raise SystemExit(
+            f"graph spec {spec!r}: {what} must be an integer, got {token!r}"
+        ) from None
+
+
+def _spec_float(spec: str, token: str, what: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise SystemExit(
+            f"graph spec {spec!r}: {what} must be a number, got {token!r}"
+        ) from None
+
+
 def parse_graph(spec: str) -> graphs.Graph:
-    """Parse a ``family:args`` graph spec into a Graph."""
+    """Parse a ``family:args`` graph spec into a Graph (or Digraph)."""
     parts = spec.split(":")
     family = parts[0]
+    if family == "random_digraph":
+        if len(parts) < 3 or len(parts) > 4:
+            raise SystemExit(
+                f"graph spec {spec!r}: random_digraph takes N:P[:SEED] "
+                f"(got {len(parts) - 1} field(s))"
+            )
+        n = _spec_int(spec, parts[1], "N")
+        p = _spec_float(spec, parts[2], "P")
+        seed = _spec_int(spec, parts[3], "SEED") if len(parts) > 3 else 0
+        try:
+            return graphs.random_digraph(n, p, seed)
+        except ValueError as exc:
+            raise SystemExit(f"graph spec {spec!r}: {exc}") from None
+    if family == "oneway":
+        if len(parts) < 2 or len(parts) > 3:
+            raise SystemExit(
+                f"graph spec {spec!r}: oneway takes N[:K] "
+                f"(got {len(parts) - 1} field(s))"
+            )
+        n = _spec_int(spec, parts[1], "N")
+        k = _spec_int(spec, parts[2], "K") if len(parts) > 2 else 1
+        try:
+            return graphs.oneway_ring(n, k)
+        except ValueError as exc:
+            raise SystemExit(f"graph spec {spec!r}: {exc}") from None
     if family == "cycle":
         return graphs.cycle_graph(int(parts[1]))
     if family == "complete":
@@ -198,6 +245,18 @@ def find_adversary(name: str):
 
 def cmd_check(args: argparse.Namespace) -> int:
     graph = parse_graph(args.graph)
+    if graph.directed:
+        print(f"digraph: n={graph.n}, arcs={graph.arc_count}, "
+              f"min in-degree={graph.min_in_degree()}, "
+              f"min out-degree={graph.min_out_degree()}, "
+              f"strong kappa={graphs.directed_vertex_connectivity(graph)}")
+        print(consensus.check_directed_local_broadcast(graph, args.f))
+        print(consensus.check_directed_decomposition(graph, args.f))
+        directed_max = consensus.max_f_directed_local_broadcast(graph)
+        closure_max = consensus.max_f_local_broadcast(graph.to_undirected())
+        print(f"max f (directed local broadcast): {directed_max}")
+        print(f"max f (symmetric closure):        {closure_max}")
+        return 0
     print(f"graph: n={graph.n}, m={graph.edge_count}, "
           f"min degree={graph.min_degree()}, "
           f"kappa={graphs.vertex_connectivity(graph)}")

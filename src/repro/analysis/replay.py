@@ -29,7 +29,7 @@ from ..consensus.async_alg import AsyncFactory
 from ..consensus.baselines import DolevEIGFactory, EIGFactory
 from ..consensus.runner import ConsensusResult, run_consensus
 from ..consensus.synchronizer import SynchronizedFactory
-from ..graphs import Graph
+from ..graphs import Digraph, Graph
 from ..net import EquivocatingAdversary
 from ..net.adversary import Adversary, CrashAdversary, standard_adversaries
 from ..net.channels import ChannelModel
@@ -38,12 +38,19 @@ from ..obs import FlightRecord, FlightReplayError, decode_label
 
 
 def graph_from_flight(header: dict) -> Graph:
-    """Rebuild the run's graph from the header's node/edge lists."""
+    """Rebuild the run's graph from the header's node/edge lists.
+
+    Headers carrying ``"directed": true`` reconstruct a :class:`Digraph`
+    whose edge list is read as ordered arcs; legacy headers (no flag)
+    reconstruct the symmetric :class:`Graph` exactly as before.
+    """
     spec = header.get("graph") or {}
     nodes = [decode_label(enc) for enc in spec.get("nodes", [])]
     edges = [
         (decode_label(u), decode_label(v)) for u, v in spec.get("edges", [])
     ]
+    if spec.get("directed"):
+        return Digraph(nodes, edges)
     return Graph(nodes, edges)
 
 

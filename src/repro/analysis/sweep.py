@@ -87,6 +87,10 @@ class SweepRecord:
     #: Canonical per-run metrics snapshot (metered sweeps only).
     #: Content data — virtual time only; participates in byte-identity.
     metrics: Optional[dict] = None
+    #: Whether the swept graph was a true digraph.  Dropped from the
+    #: serialized record when False so undirected report JSON keeps its
+    #: historical bytes.
+    directed: bool = False
 
 
 @dataclass
@@ -166,6 +170,8 @@ class SweepReport:
         d = asdict(record)
         if d.get("metrics") is None:
             d.pop("metrics", None)
+        if not d.get("directed"):
+            d.pop("directed", None)
         return d
 
     def to_json(self, indent: Optional[int] = 2, **extra) -> str:
@@ -369,6 +375,7 @@ def _execute_task(
         scheduler=_scheduler_name(scheduler),
         outcome=result.outcome,
         metrics=result.metrics,
+        directed=context.graph.directed,
     )
     return record, blob
 

@@ -51,12 +51,15 @@ from .conditions import (
     ConditionReport,
     async_threshold_connectivity,
     check_async_local_broadcast,
+    check_directed_decomposition,
+    check_directed_local_broadcast,
     check_hybrid,
     check_local_broadcast,
     check_point_to_point,
     hybrid_threshold_connectivity,
     local_broadcast_threshold_connectivity,
     max_f_async_local_broadcast,
+    max_f_directed_local_broadcast,
     max_f_hybrid,
     max_f_local_broadcast,
     max_f_point_to_point,
@@ -135,6 +138,8 @@ __all__ = [
     "candidate_fault_sets",
     "candidate_pairs",
     "check_async_local_broadcast",
+    "check_directed_decomposition",
+    "check_directed_local_broadcast",
     "check_hybrid",
     "check_local_broadcast",
     "check_point_to_point",
@@ -147,6 +152,7 @@ __all__ = [
     "local_broadcast_threshold_connectivity",
     "majority",
     "max_f_async_local_broadcast",
+    "max_f_directed_local_broadcast",
     "max_f_hybrid",
     "max_f_local_broadcast",
     "max_f_point_to_point",

@@ -134,7 +134,9 @@ class Algorithm2Protocol(Protocol):
     def _start_phase2(self, ctx: Context) -> None:
         transcripts = {
             nbr: self._transcripts.get(nbr, [])
-            for nbr in sorted(self.graph.neighbors(self.me), key=repr)
+            # Reports cover the nodes *me hears* — in-neighbors on a
+            # digraph, ordinary neighbors on a symmetric view.
+            for nbr in self.graph.sorted_in_neighbors(self.me)
         }
         bundle = ReportBundle.build(self.me, transcripts)
         self._flood2 = FloodInstance(

@@ -11,6 +11,15 @@ conditions that are simultaneously necessary and sufficient:
   ``⌊3(f − t)/2⌋ + 2t + 1``; if ``t = 0`` min degree ≥ ``2f``; if
   ``t > 0`` every set ``S`` with ``0 < |S| ≤ t`` has ≥ ``2f + 1``
   neighbors.
+* **Directed local broadcast** (companion paper arXiv:1911.07298): the
+  directed generalization implemented here — minimum *in*-degree ≥
+  ``2f`` and strong vertex connectivity ≥ ``⌊3f/2⌋ + 1`` on strongly
+  connected digraphs, plus a source-component/relay decomposition for
+  arbitrary digraphs (see :func:`check_directed_local_broadcast` /
+  :func:`check_directed_decomposition`).  On a symmetric view both
+  collapse clause-for-clause to the undirected Theorem 4.1/5.1 form —
+  an equality the property suite tests — so the undirected checkers
+  delegate their measured values to the directed primitives.
 
 Each checker returns a :class:`ConditionReport` listing every clause with
 its required and measured value, so experiments can show *which*
@@ -23,8 +32,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..graphs import (
+    Digraph,
     Graph,
+    directed_vertex_connectivity,
+    max_set_disjoint_paths,
     min_set_neighborhood,
+    source_components,
     vertex_connectivity,
 )
 
@@ -92,19 +105,127 @@ def hybrid_threshold_connectivity(f: int, t: int) -> int:
 
 
 def check_local_broadcast(graph: Graph, f: int) -> ConditionReport:
-    """Theorem 4.1/5.1: consensus under local broadcast iff these hold."""
+    """Theorem 4.1/5.1: consensus under local broadcast iff these hold.
+
+    Delegates its measured values to the directed layer on the symmetric
+    view — minimum degree is the symmetric view's minimum in-degree (the
+    same adjacency dict) and κ is :func:`directed_vertex_connectivity`,
+    which routes undirected graphs to the memoized pruning algorithm —
+    while keeping the historical clause names and report shape.  The
+    property suite checks clause-for-clause equality against
+    :func:`check_directed_local_broadcast` on the symmetric lift.
+    """
     if f < 0:
         raise ValueError("f must be non-negative")
     clauses = (
         Clause("n > f (trivial solvability bound)", f + 1, graph.n),
-        Clause("minimum degree >= 2f", 2 * f, graph.min_degree()),
+        Clause("minimum degree >= 2f", 2 * f, graph.min_in_degree()),
         Clause(
             "connectivity >= floor(3f/2) + 1",
             local_broadcast_threshold_connectivity(f),
-            vertex_connectivity(graph),
+            directed_vertex_connectivity(graph),
         ),
     )
     return ConditionReport("local-broadcast", f, None, clauses)
+
+
+def check_directed_local_broadcast(graph: Digraph, f: int) -> ConditionReport:
+    """Directed local broadcast (arXiv:1911.07298 regime, strong form).
+
+    The generalization implemented for strongly connected digraphs:
+
+    * ``n > f`` — trivial solvability;
+    * minimum *in*-degree ≥ ``2f`` — a node must hear ``2f`` neighbors
+      so that, with ``f`` of them faulty, honest witnesses still form a
+      majority of what it heard (the directed reading of Theorem 4.1(i):
+      only in-arcs deliver information under local broadcast);
+    * strong vertex connectivity ≥ ``⌊3f/2⌋ + 1`` — the directed Menger
+      form of Theorem 4.1(ii): ``⌊3f/2⌋ + 1`` internally node-disjoint
+      *directed* paths between every ordered pair.
+
+    On a symmetric view every clause collapses to its undirected
+    counterpart exactly (in-degree = degree, strong κ = κ, including
+    κ = 0 for disconnected graphs), so this checker and
+    :func:`check_local_broadcast` agree on all symmetric lifts for every
+    ``f`` — the equality the property suite tests.  For digraphs that
+    are not strongly connected this strong form reports κ = 0 and hence
+    infeasibility; :func:`check_directed_decomposition` refines that
+    verdict via the condensation.
+    """
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    clauses = (
+        Clause("n > f (trivial solvability bound)", f + 1, graph.n),
+        Clause("minimum in-degree >= 2f", 2 * f, graph.min_in_degree()),
+        Clause(
+            "strong connectivity >= floor(3f/2) + 1",
+            local_broadcast_threshold_connectivity(f),
+            directed_vertex_connectivity(graph),
+        ),
+    )
+    return ConditionReport("directed-local-broadcast", f, None, clauses)
+
+
+def check_directed_decomposition(graph: Digraph, f: int) -> ConditionReport:
+    """Directed feasibility on *arbitrary* digraphs via the condensation.
+
+    Decomposes the digraph into its source strongly-connected component
+    (the "core") and relay territory, the structure the companion paper
+    (arXiv:1911.07298) characterizes:
+
+    * ``n > f`` — trivial solvability;
+    * the condensation has a **unique source component** — with two or
+      more, consensus is impossible even fault-free: each source never
+      learns the others' inputs, and validity on all-0 vs all-1 inputs
+      forces disagreement;
+    * the core satisfies the strong-form conditions (in-degree ≥ ``2f``,
+      strong κ ≥ ``⌊3f/2⌋ + 1``) so it can decide among itself;
+    * every non-core node has ≥ ``2f + 1`` internally node-disjoint
+      directed core→v paths, the reliable-receipt threshold: ``f`` faults
+      leave ``f + 1`` clean disjoint carriers of the core's decision,
+      while a fabricated value would need ``f + 1`` disjoint paths each
+      containing its own distinct fault.
+
+    On a strongly connected digraph the core is the whole graph, the
+    relay clause vanishes, and the verdict equals the strong form's.
+    The clause set is a principled sufficient/necessary decomposition in
+    this codebase's reliable-receipt calculus; the companion paper's
+    exact characterization is finer-grained on relay territory.
+    """
+    if f < 0:
+        raise ValueError("f must be non-negative")
+    sources = source_components(graph)
+    core = sources[0] if sources else frozenset()
+    core_graph = graph.subgraph(core)
+    clauses = [
+        Clause("n > f (trivial solvability bound)", f + 1, graph.n),
+        Clause(
+            "condensation has a unique source component (1 = yes)",
+            1,
+            int(len(sources) == 1),
+        ),
+        Clause(
+            "core minimum in-degree >= 2f", 2 * f, core_graph.min_in_degree()
+        ),
+        Clause(
+            "core strong connectivity >= floor(3f/2) + 1",
+            local_broadcast_threshold_connectivity(f),
+            directed_vertex_connectivity(core_graph),
+        ),
+    ]
+    relay_nodes = sorted(graph.nodes - set(core), key=repr)
+    if relay_nodes:
+        fan_in = min(
+            max_set_disjoint_paths(graph, core, v) for v in relay_nodes
+        )
+        clauses.append(
+            Clause(
+                "every non-core node has >= 2f + 1 disjoint core paths",
+                2 * f + 1,
+                fan_in,
+            )
+        )
+    return ConditionReport("directed-decomposition", f, None, tuple(clauses))
 
 
 def async_threshold_connectivity(f: int) -> int:
@@ -197,9 +318,20 @@ def check_hybrid(graph: Graph, f: int, t: int) -> ConditionReport:
 
 
 def max_f_local_broadcast(graph: Graph) -> int:
-    """The largest ``f`` for which Theorem 5.1 declares ``G`` feasible."""
+    """The largest ``f`` for which Theorem 5.1 declares ``G`` feasible.
+
+    Delegates to :func:`max_f_directed_local_broadcast`: on a symmetric
+    view the directed clauses measure the identical quantities, so the
+    verdicts — and hence the maximal ``f`` — coincide for every ``f``
+    (property-tested).
+    """
+    return max_f_directed_local_broadcast(graph)
+
+
+def max_f_directed_local_broadcast(graph: Digraph) -> int:
+    """The largest ``f`` the directed strong-form conditions allow."""
     f = 0
-    while check_local_broadcast(graph, f + 1).feasible:
+    while check_directed_local_broadcast(graph, f + 1).feasible:
         f += 1
     return f
 

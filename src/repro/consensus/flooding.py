@@ -292,7 +292,9 @@ class FloodInstance:
                 # substitute wherever a real initiation already claimed
                 # the (neighbor, ⊥) slot.
                 accept = self._accept
-                for nbr in self.graph.sorted_neighbors(self.me):
+                # Substitutes stand in for initiations *heard* by me, so
+                # they range over in-neighbors (identical on a Graph).
+                for nbr in self.graph.sorted_in_neighbors(self.me):
                     substitute = FloodMessage(phase, self.default_payload, ())
                     if accept(ctx, nbr, substitute):
                         accepted += 1

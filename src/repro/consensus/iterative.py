@@ -148,7 +148,7 @@ def run_wmsr(
         new_state = {}
         for v in honest:
             own = state[v]
-            received = sorted(broadcast[u] for u in graph.neighbors(v))
+            received = sorted(broadcast[u] for u in graph.in_neighbors(v))
             higher = [x for x in received if x > own]
             lower = [x for x in received if x < own]
             keep = [x for x in received if x == own]

@@ -191,7 +191,10 @@ class PathOracle:
             queue = deque([root])
             while queue:
                 x = queue.popleft()
-                for y in sorted(graph.neighbors(x), key=repr):
+                # Walking parent links y → x must follow forward arcs,
+                # so children of x are its *in*-neighbors (same tuple on
+                # a Graph, where the two directions share one cache).
+                for y in graph.sorted_in_neighbors(x):
                     if y not in parents:
                         parents[y] = x
                         queue.append(y)

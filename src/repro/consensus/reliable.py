@@ -381,7 +381,7 @@ class ClaimIndex:
         if subject in self._reliable_transcript_cache:
             return self._reliable_transcript_cache[subject]
         result: Optional[Transcript] = None
-        if subject in self.graph.neighbors(self.me):
+        if self.me in self.graph.neighbors(subject):
             result = self.own_transcripts.get(subject, ())
         else:
             # repro: allow[REPRO001] insertion order is deterministic and
@@ -407,7 +407,7 @@ class ClaimIndex:
             return self._claim_cache[key]
         if subject == self.me:
             result = any(m == message for _, m in self.own_sent)
-        elif subject in self.graph.neighbors(self.me):
+        elif self.me in self.graph.neighbors(subject):
             result = any(
                 m == message for _, m in self.own_transcripts.get(subject, ())
             )

@@ -369,18 +369,32 @@ def _flight_header(
         if crash_round is not None:
             adversary_spec["crash_round"] = crash_round
     nodes = sorted(graph.nodes, key=repr)
-    edge_pairs = sorted(
-        (tuple(sorted(edge, key=repr)) for edge in graph.edges()), key=repr
-    )
-    header = {
-        "type": "header",
-        "version": 1,
-        "graph": {
+    if graph.directed:
+        # Arcs are ordered pairs: no endpoint canonicalization, or the
+        # direction would be lost on replay.
+        graph_spec = {
+            "nodes": [encode_label(v) for v in nodes],
+            "edges": [
+                [encode_label(u), encode_label(v)]
+                for u, v in sorted(graph.arcs(), key=repr)
+            ],
+            "directed": True,
+        }
+    else:
+        edge_pairs = sorted(
+            (tuple(sorted(edge, key=repr)) for edge in graph.edges()),
+            key=repr,
+        )
+        graph_spec = {
             "nodes": [encode_label(v) for v in nodes],
             "edges": [
                 [encode_label(u), encode_label(v)] for u, v in edge_pairs
             ],
-        },
+        }
+    header = {
+        "type": "header",
+        "version": 1,
+        "graph": graph_spec,
         "f": f,
         "faulty": [encode_label(v) for v in sorted(faulty_set, key=repr)],
         "inputs": [[encode_label(v), inputs[v]] for v in nodes],

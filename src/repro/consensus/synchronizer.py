@@ -196,7 +196,9 @@ class AlphaSynchronizer(Protocol):
                 self._pending.setdefault(sender, {}).setdefault(
                     belongs_to, []
                 ).append(message)
-        neighbors = ctx.graph.sorted_neighbors(ctx.node)
+        # Round markers arrive from the nodes this one *hears*: the
+        # in-neighborhood (identical to the neighborhood on a Graph).
+        neighbors = ctx.graph.sorted_in_neighbors(ctx.node)
         if not neighbors:
             # An isolated node waits on nobody: one round per tick, so
             # an unbounded inner protocol cannot spin the handshake loop

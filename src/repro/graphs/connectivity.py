@@ -15,6 +15,13 @@ Both are realized with a unit-capacity max-flow on the standard
 exactly to internally node-disjoint paths.  Everything is implemented
 from scratch — the test suite cross-validates against networkx, but the
 library itself has no third-party dependencies.
+
+The same machinery serves *directed* graphs (arXiv:1911.07298): the
+split network simply inserts one arc per digraph arc instead of both
+orientations per edge, so every disjoint-path query below works
+unchanged on a :class:`~repro.graphs.graph.Digraph`, and the directed
+analogues — strong connectivity, strongly connected components, the
+directed κ — live at the bottom of this module.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from collections.abc import Iterable
 from functools import lru_cache
 from itertools import combinations
 
-from .graph import Graph, GraphError, Node
+from .graph import Digraph, Graph, GraphError, Node
 
 # Flow-network vertices are tagged tuples so user node labels never collide
 # with the split copies: ("in", v) / ("out", v) plus dedicated terminals.
@@ -214,6 +221,12 @@ def _build_split_network(
     source it remains usable as a path endpoint only (its only incoming
     arc is from the super-source), mirroring the paper's "path excludes
     F but endpoints may belong to F" convention.
+
+    On a :class:`Digraph` only the digraph's own arcs are inserted, so
+    flow paths are *directed* paths.  The undirected branch keeps its
+    historical ``graph.edges()`` insertion order verbatim — arc order
+    determines which valid path decomposition Dinic produces, and those
+    decompositions are part of the byte-identical report contract.
     """
     source_set = set(sources)
     excluded = set(exclude_internal)
@@ -231,11 +244,16 @@ def _build_split_network(
         else:
             through = 1
         net.add_arc(("in", v), ("out", v), through)
-    for u, v in graph.edges():
-        if u != sink:
-            net.add_arc(("out", u), ("in", v), edge_cap)
-        if v != sink:
-            net.add_arc(("out", v), ("in", u), edge_cap)
+    if graph.directed:
+        for u, v in graph.arcs():
+            if u != sink:
+                net.add_arc(("out", u), ("in", v), edge_cap)
+    else:
+        for u, v in graph.edges():
+            if u != sink:
+                net.add_arc(("out", u), ("in", v), edge_cap)
+            if v != sink:
+                net.add_arc(("out", v), ("in", u), edge_cap)
     for s in sorted(source_set, key=repr):
         net.add_arc(_SOURCE, ("in", s), big)
     net.add_arc(("out", sink), _SINK, big)
@@ -462,3 +480,162 @@ def disjoint_paths_excluding(
     if value < k:
         return None
     return paths[:k]
+
+
+# ----------------------------------------------------------------------
+# Directed reachability and connectivity (arXiv:1911.07298)
+# ----------------------------------------------------------------------
+def is_strongly_connected(graph: Digraph) -> bool:
+    """True iff every node reaches every other along arcs.
+
+    Graphs with at most one node count as strongly connected.  On a
+    symmetric view this is ordinary connectivity.  One forward and one
+    backward BFS from the canonical (repr-minimal) node suffice.
+    """
+    if graph.n <= 1:
+        return True
+    start = min(graph.nodes, key=repr)
+    if len(graph.bfs_reachable(start)) != graph.n:
+        return False
+    return len(graph.bfs_reaching(start)) == graph.n
+
+
+def strongly_connected_components(graph: Digraph) -> list[set[Node]]:
+    """All strongly connected components, as a list of node sets.
+
+    Kosaraju's algorithm over sorted adjacency (iterative DFS — paths
+    can be Θ(n) long), so both the membership *and the list order* are a
+    pure function of the graph, never of ``PYTHONHASHSEED``.  The list
+    comes out in topological order of the condensation: a component
+    only ever has arcs into components listed after it.
+    """
+    # Pass 1: DFS finish order on out-arcs, roots visited in repr order.
+    finish: list[Node] = []
+    seen: set[Node] = set()
+    for root in sorted(graph.nodes, key=repr):
+        if root in seen:
+            continue
+        seen.add(root)
+        stack: list[tuple[Node, Iterable[Node]]] = [
+            (root, iter(graph.sorted_neighbors(root)))
+        ]
+        while stack:
+            node, arcs_iter = stack[-1]
+            advanced = False
+            for nxt in arcs_iter:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, iter(graph.sorted_neighbors(nxt))))
+                    advanced = True
+                    break
+            if not advanced:
+                finish.append(node)
+                stack.pop()
+    # Pass 2: BFS on in-arcs in reverse finish order.
+    components: list[set[Node]] = []
+    assigned: set[Node] = set()
+    for root in reversed(finish):
+        if root in assigned:
+            continue
+        component = {root}
+        assigned.add(root)
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for w in graph.sorted_in_neighbors(u):
+                if w not in assigned:
+                    assigned.add(w)
+                    component.add(w)
+                    queue.append(w)
+        components.append(component)
+    return components
+
+
+def source_components(graph: Digraph) -> list[set[Node]]:
+    """The source components of the condensation: strongly connected
+    components with no incoming arc from outside.
+
+    These are the only places information can originate — a digraph with
+    two source components cannot reach consensus even fault-free (each
+    source never learns the other's inputs).  Returned sorted by the
+    repr of each component's minimal node, so the first entry is the
+    canonical choice when a unique "core" is assumed.  A strongly
+    connected digraph has exactly one source component: the whole graph.
+    """
+    components = strongly_connected_components(graph)
+    component_of: dict[Node, int] = {}
+    for i, component in enumerate(components):
+        for v in component:
+            component_of[v] = i
+    has_incoming: set[int] = set()
+    for u, v in graph.arcs():
+        if component_of[u] != component_of[v]:
+            has_incoming.add(component_of[v])
+    sources = [
+        component
+        for i, component in enumerate(components)
+        if i not in has_incoming
+    ]
+    return sorted(sources, key=lambda component: repr(min(component, key=repr)))
+
+
+def directed_local_connectivity(graph: Digraph, u: Node, v: Node) -> int:
+    """κ(u → v): the maximum number of internally node-disjoint directed
+    ``u → v`` paths (:func:`max_disjoint_paths` on a digraph builds the
+    one-arc-per-arc split network)."""
+    return max_disjoint_paths(graph, u, v)
+
+
+@lru_cache(maxsize=512)
+def _directed_vertex_connectivity_uncached(graph: Digraph) -> int:
+    n = graph.n
+    if n <= 1:
+        return 0
+    if not is_strongly_connected(graph):
+        return 0
+    nodes = sorted(graph.nodes, key=repr)
+    best = n - 1
+    for u in nodes:
+        for v in nodes:
+            if u == v or graph.has_edge(u, v):
+                continue
+            best = min(best, max_disjoint_paths(graph, u, v))
+            if best == 0:
+                return 0
+    return best
+
+
+def directed_vertex_connectivity(graph: Digraph) -> int:
+    """Strong vertex connectivity κ(D) of a digraph.
+
+    The directed Menger form: the minimum over ordered non-adjacent
+    pairs ``(u, v)`` of the number of internally node-disjoint directed
+    ``u → v`` paths; ``n - 1`` for complete digraphs, 0 when not
+    strongly connected.  Equals the undirected κ on a symmetric view
+    (every ``u → v`` path family is a ``uv``-path family and vice
+    versa), and the undirected branch delegates to the memoized pruned
+    :func:`vertex_connectivity` rather than paying the O(n²) max-flow
+    loop.  The directed branch is memoized separately on the (immutable,
+    hashable) digraph; ``cache_info`` / ``cache_clear`` are exposed.
+    """
+    if not graph.directed:
+        return vertex_connectivity(graph)
+    return _directed_vertex_connectivity_uncached(graph)
+
+
+directed_vertex_connectivity.cache_info = (
+    _directed_vertex_connectivity_uncached.cache_info
+)
+directed_vertex_connectivity.cache_clear = (
+    _directed_vertex_connectivity_uncached.cache_clear
+)
+
+
+def is_strongly_k_connected(graph: Digraph, k: int) -> bool:
+    """``D`` is strongly ``k``-connected: ``n > k`` and no vertex set of
+    size < k whose removal breaks strong connectivity."""
+    if k <= 0:
+        return graph.n > k
+    if graph.n <= k:
+        return False
+    return directed_vertex_connectivity(graph) >= k

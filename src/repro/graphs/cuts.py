@@ -20,7 +20,14 @@ from .graph import Graph, GraphError, Node
 
 
 def neighbors_of_set(graph: Graph, s: Iterable[Node]) -> set[Node]:
-    """Nodes outside ``S`` that have an edge into ``S`` (paper, Section 3)."""
+    """Nodes outside ``S`` that have an edge into ``S`` (paper, Section 3).
+
+    On a :class:`~repro.graphs.graph.Digraph` this is the *out*-
+    neighborhood of ``S`` — the nodes that hear some member of ``S`` —
+    matching the repo-wide ``neighbors = who hears v`` convention.  The
+    hybrid Theorem 6.1 machinery that consumes it remains specified on
+    undirected graphs only.
+    """
     s_set = set(s)
     out: set[Node] = set()
     # repro: allow[REPRO001] set union is commutative — the visiting

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 
-from .graph import Graph, GraphError
+from .graph import Digraph, Graph, GraphError
 
 # ---------------------------------------------------------------------------
 # Classical families
@@ -315,6 +315,54 @@ def gnp_supercritical_graph(n: int, c: float = 2.0, seed: int = 0) -> Graph:
     return Graph(range(n), edges)
 
 
+# ----------------------------------------------------------------------
+# Directed families (arXiv:1911.07298 workload axis)
+# ----------------------------------------------------------------------
+def random_digraph(n: int, p: float, seed: int = 0) -> Digraph:
+    """Seeded directed Erdős–Rényi ``D(n, p)``: every ordered pair
+    ``(i, j)``, ``i ≠ j``, becomes an arc with one seeded coin flip.
+
+    Arc slots are visited in lexicographic order, so the digraph is a
+    pure function of ``(n, p, seed)`` and sweeps stay reproducible.
+    Asymmetric links appear with probability ``2p(1 - p)`` per pair —
+    the regime where the directed feasibility checkers genuinely differ
+    from the symmetric-closure verdicts.
+    """
+    if n < 1:
+        raise GraphError("need at least one node")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("arc probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    arcs = [
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if i != j and rng.random() < p
+    ]
+    return Digraph(range(n), arcs)
+
+
+def oneway_ring(n: int, k: int = 1) -> Digraph:
+    """Radio-style one-way circulant: station ``i`` reaches
+    ``(i + 1) .. (i + k) mod n`` but is not heard back.
+
+    Models directional radio links (a high-power transmitter heard by
+    low-power stations that cannot answer).  Every node has in-degree
+    and out-degree ``k`` and the digraph is strongly connected, yet its
+    symmetric closure is the circulant ``C_n(1..k)`` with degree ``2k``
+    — so the directed max-``f`` verdict drops below the undirected one
+    (in-degree ``k`` supports at most ``f = k/2`` instead of ``k``),
+    which is exactly the feasibility gap the directed sweep battery
+    demonstrates.
+    """
+    if n < 3:
+        raise GraphError("need at least three nodes for a one-way ring")
+    if not 1 <= k < n:
+        raise GraphError("need 1 <= k < n one-way offsets")
+    arcs = [(i, (i + d) % n) for i in range(n) for d in range(1, k + 1)]
+    return Digraph(range(n), arcs)
+
+
 FAMILY_BUILDERS = {
     "path": path_graph,
     "cycle": cycle_graph,
@@ -325,5 +373,7 @@ FAMILY_BUILDERS = {
     "figure_1b": lambda: paper_figure_1b(),
     "random_regular": random_regular_graph,
     "gnp_supercritical": gnp_supercritical_graph,
+    "random_digraph": random_digraph,
+    "oneway": oneway_ring,
 }
 """Registry used by sweeps and examples to name graphs in reports."""

@@ -39,7 +39,11 @@ class NodeIndex:
     ``nodes[i]`` is the label at index ``i`` (``repr``-sorted, so index
     order *is* the repo's canonical node order), ``index_of`` the inverse
     mapping, and ``adj_masks[i]`` the bitmask of ``nodes[i]``'s
-    neighbors.  ``packed`` path encodings fold ``index + 1`` into
+    *out*-neighbors — the direction a path traverses, so ``walk``
+    validates directed arcs; ``in_masks[i]`` holds the in-direction.  On
+    an undirected :class:`~repro.graphs.graph.Graph` the two directions
+    are the same tuple object, so nothing changes for symmetric views.
+    ``packed`` path encodings fold ``index + 1`` into
     ``shift``-bit chunks, which is injective over node *sequences* (not
     just sets): two distinct simple paths — even ones visiting the same
     node set in different orders — never collide, which rule (ii)'s
@@ -48,6 +52,7 @@ class NodeIndex:
 
     __slots__ = (
         "nodes", "index_of", "adj_masks", "neighbor_indices",
+        "in_masks", "in_neighbor_indices",
         "n", "all_mask", "shift", "walk_memo",
     )
 
@@ -71,6 +76,26 @@ class NodeIndex:
         self.neighbor_indices: Tuple[Tuple[int, ...], ...] = tuple(
             neighbor_indices
         )
+        if getattr(graph, "directed", False):
+            in_masks = []
+            in_neighbor_indices = []
+            for v in nodes:
+                indices = tuple(
+                    sorted(index_of[u] for u in graph.in_neighbors(v))
+                )
+                mask = 0
+                for i in indices:
+                    mask |= 1 << i
+                in_masks.append(mask)
+                in_neighbor_indices.append(indices)
+            self.in_masks: Tuple[int, ...] = tuple(in_masks)
+            self.in_neighbor_indices: Tuple[Tuple[int, ...], ...] = tuple(
+                in_neighbor_indices
+            )
+        else:
+            # Symmetric view: the in-direction aliases the out-direction.
+            self.in_masks = self.adj_masks
+            self.in_neighbor_indices = self.neighbor_indices
         self.n = len(nodes)
         self.all_mask = (1 << self.n) - 1
         #: Bits per packed-path chunk; chunks hold ``index + 1 ≤ n``,
@@ -139,8 +164,11 @@ class NodeIndex:
         Returns ``(mask, packed, last_index)`` — the visited-set bitmask,
         the order-faithful packed encoding, and the last node's index —
         or ``None`` if the sequence repeats a node, leaves the graph, or
-        breaks adjacency.  The empty path yields ``(0, 0, -1)``: it is
-        the valid prefix every flood initiation extends.
+        breaks adjacency.  Adjacency is checked in the *out* direction
+        (``adj_masks``), so on a digraph the sequence must be a directed
+        path; on a symmetric view this is ordinary edge adjacency.  The
+        empty path yields ``(0, 0, -1)``: it is the valid prefix every
+        flood initiation extends.
         """
         index_of = self.index_of
         adj = self.adj_masks
@@ -188,10 +216,14 @@ class NodeIndex:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, NodeIndex):
             return NotImplemented
-        return self.nodes == other.nodes and self.adj_masks == other.adj_masks
+        return (
+            self.nodes == other.nodes
+            and self.adj_masks == other.adj_masks
+            and self.in_masks == other.in_masks
+        )
 
     def __hash__(self) -> int:
-        return hash((self.nodes, self.adj_masks))
+        return hash((self.nodes, self.adj_masks, self.in_masks))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NodeIndex(n={self.n})"

@@ -30,6 +30,11 @@ def is_path(graph: Graph, path: Sequence[Node]) -> bool:
 
     A single node is a valid (trivial) path — the algorithm uses the
     trivial path ``P_vv`` for a node's own value in step (b).
+
+    Consecutive hops are checked with ``has_edge(u, v)``, which on a
+    :class:`~repro.graphs.graph.Digraph` is the forward arc ``u → v``:
+    a valid path is a *directed* path, matching the direction messages
+    actually travel.
     """
     if len(path) == 0:
         return False
@@ -85,7 +90,9 @@ def all_simple_paths(
     ``max_length`` bounds the number of *nodes* on the path.  This is
     exponential in general — the flooding in Algorithm 1 is too (each
     path-annotated message corresponds to a simple path), so enumerating
-    is faithful to the protocol's actual message complexity.
+    is faithful to the protocol's actual message complexity.  The walk
+    expands out-neighbors, so on a digraph every returned path is a
+    directed ``u → … → v`` path.
     """
     if u not in graph.nodes or v not in graph.nodes:
         raise GraphError("both endpoints must be graph nodes")

@@ -1,0 +1,130 @@
+"""Directed sweeps and flight recordings.
+
+The directed axis must ride the existing determinism machinery: a
+digraph sweep is byte-identical at any worker count, its records carry
+``directed: true``, undirected report JSON keeps its historical bytes
+(no ``directed`` key), and a digraph flight recording replays onto a
+reconstructed ``Digraph`` — byte-identically.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    SweepRecord,
+    consensus_sweep,
+    graph_from_flight,
+    replay_flight,
+)
+from repro.consensus import algorithm2_factory, run_consensus
+from repro.graphs import Digraph, Graph, cycle_graph, oneway_ring
+from repro.net import SilentAdversary, TamperForwardAdversary
+from repro.obs import strip_timings
+
+
+def directed_sweep(workers, metrics=False):
+    d = oneway_ring(9, 2)
+    return consensus_sweep(
+        d,
+        algorithm2_factory(d, 1),
+        f=1,
+        adversaries=[SilentAdversary(), TamperForwardAdversary()],
+        patterns=["all-one", "alternating"],
+        fault_limit=4,
+        workers=workers,
+        metrics=metrics,
+    )
+
+
+class TestDirectedSweep:
+    def test_oneway_9_2_decides(self):
+        """The acceptance scenario: feasible in directed form (f = 1),
+        and the sweep actually decides every run."""
+        report = directed_sweep(workers=1)
+        assert report.runs > 0
+        assert report.all_consensus
+
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_parallel_identical_to_serial(self, workers):
+        serial = directed_sweep(workers=1)
+        parallel = directed_sweep(workers=workers)
+        assert parallel.records == serial.records
+        assert parallel.to_json() == serial.to_json()
+
+    def test_metered_parallel_identical_minus_timings(self):
+        serial = directed_sweep(workers=1, metrics=True)
+        parallel = directed_sweep(workers=2, metrics=True)
+        assert (strip_timings(serial.to_dict())
+                == strip_timings(parallel.to_dict()))
+
+    def test_records_carry_directed_flag(self):
+        report = directed_sweep(workers=1)
+        assert all(r.directed for r in report.records)
+        payload = json.loads(report.to_json())
+        assert all(rec["directed"] for rec in payload["records"])
+
+    def test_undirected_records_keep_historical_shape(self):
+        g = cycle_graph(4)
+        report = consensus_sweep(
+            g,
+            algorithm2_factory(g, 1),
+            f=1,
+            adversaries=[SilentAdversary()],
+            patterns=["all-one"],
+            workers=1,
+        )
+        assert all(not r.directed for r in report.records)
+        payload = json.loads(report.to_json())
+        assert all("directed" not in rec for rec in payload["records"])
+
+    def test_record_dataclass_default(self):
+        rec = SweepRecord(
+            faulty=(), adversary="silent", inputs_name="all-one",
+            consensus=True, agreement=True, validity=True,
+            rounds=3, transmissions=9, decision=1,
+        )
+        assert rec.directed is False
+
+
+class TestDirectedFlight:
+    def record(self):
+        d = oneway_ring(9, 2)
+        nodes = sorted(d.nodes, key=repr)
+        result = run_consensus(
+            d, algorithm2_factory(d, 1),
+            {v: i % 2 for i, v in enumerate(nodes)},
+            f=1, faulty=[0], adversary=TamperForwardAdversary(),
+            flight=True,
+        )
+        assert result.flight is not None
+        return result.flight
+
+    def test_header_marks_directed_and_keeps_arcs(self):
+        record = self.record()
+        spec = record.header["graph"]
+        assert spec["directed"] is True
+        arcs = {(u, v) for u, v in spec["edges"]}
+        assert (0, 1) in arcs and (1, 0) not in arcs
+
+    def test_graph_from_flight_rebuilds_digraph(self):
+        record = self.record()
+        rebuilt = graph_from_flight(record.header)
+        assert type(rebuilt) is Digraph
+        assert rebuilt == oneway_ring(9, 2)
+
+    def test_undirected_header_unchanged(self):
+        g = cycle_graph(4)
+        result = run_consensus(
+            g, algorithm2_factory(g, 1), {v: 1 for v in g.nodes},
+            f=1, flight=True,
+        )
+        spec = result.flight.header["graph"]
+        assert "directed" not in spec
+        rebuilt = graph_from_flight(result.flight.header)
+        assert type(rebuilt) is Graph and rebuilt == g
+
+    def test_directed_replay_byte_identical(self):
+        record = self.record()
+        outcome = replay_flight(record)
+        assert outcome.identical, outcome.diff

@@ -1,0 +1,142 @@
+"""Directed connectivity: strong reachability, SCCs, source components,
+and the directed vertex connectivity that backs the feasibility checks.
+
+The load-bearing property is Menger agreement on symmetric views: for
+any undirected graph, the directed machinery run on its symmetric lift
+must reproduce the undirected answers exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Digraph,
+    complete_graph,
+    cycle_graph,
+    directed_local_connectivity,
+    directed_vertex_connectivity,
+    gnp_supercritical_graph,
+    is_strongly_connected,
+    is_strongly_k_connected,
+    local_connectivity,
+    max_disjoint_paths,
+    oneway_ring,
+    paper_figure_1a,
+    path_graph,
+    random_digraph,
+    source_components,
+    strongly_connected_components,
+    vertex_connectivity,
+    wheel_graph,
+)
+
+
+class TestStrongConnectivity:
+    def test_oneway_ring_is_strong(self):
+        assert is_strongly_connected(oneway_ring(5))
+
+    def test_dag_is_not_strong(self):
+        assert not is_strongly_connected(Digraph.from_arcs([(0, 1), (1, 2)]))
+
+    def test_single_node(self):
+        assert is_strongly_connected(Digraph(nodes=[0]))
+
+    def test_scc_partition(self):
+        d = Digraph.from_arcs([
+            (0, 1), (1, 0),          # component {0, 1}
+            (1, 2), (2, 3), (3, 2),  # component {2, 3}, fed from {0, 1}
+        ])
+        comps = strongly_connected_components(d)
+        # Topological order of the condensation: sources first.
+        assert [set(c) for c in comps] == [{0, 1}, {2, 3}]
+
+    def test_scc_deterministic(self):
+        d = random_digraph(12, 0.15, 4)
+        assert (strongly_connected_components(d)
+                == strongly_connected_components(d))
+
+    def test_source_components(self):
+        d = Digraph.from_arcs([(0, 1), (1, 0), (1, 2), (3, 2)])
+        # {0,1} and {3} both have no incoming cross-component arc.
+        assert [set(c) for c in source_components(d)] == [{0, 1}, {3}]
+
+    def test_strong_digraph_has_one_source(self):
+        d = oneway_ring(7, 2)
+        sources = source_components(d)
+        assert len(sources) == 1
+        assert set(sources[0]) == set(range(7))
+
+
+class TestDirectedConnectivity:
+    def test_oneway_ring_kappa(self):
+        assert directed_vertex_connectivity(oneway_ring(9, 2)) == 2
+
+    def test_not_strong_means_zero(self):
+        assert directed_vertex_connectivity(
+            Digraph.from_arcs([(0, 1), (1, 2)])
+        ) == 0
+
+    def test_complete_digraph(self):
+        d = complete_graph(5).to_digraph()
+        assert directed_vertex_connectivity(d) == 4
+
+    def test_local_connectivity_directed(self):
+        d = oneway_ring(6)
+        assert directed_local_connectivity(d, 0, 3) == 1
+        assert max_disjoint_paths(d, 0, 3) == 1
+
+    def test_is_strongly_k_connected(self):
+        d = oneway_ring(9, 2)
+        assert is_strongly_k_connected(d, 2)
+        assert not is_strongly_k_connected(d, 3)
+
+    def test_asymmetric_example(self):
+        """Symmetric closure of oneway:9:2 is C9(1,2): κ jumps 2 → 4."""
+        d = oneway_ring(9, 2)
+        assert directed_vertex_connectivity(d) == 2
+        assert vertex_connectivity(d.to_undirected()) == 4
+
+
+class TestSymmetricViewAgreement:
+    BATTERY = [
+        cycle_graph(5),
+        wheel_graph(5),
+        complete_graph(4),
+        path_graph(5),
+        paper_figure_1a(),
+    ]
+
+    def test_battery_kappa_matches(self):
+        for g in self.BATTERY:
+            lifted = g.to_digraph()
+            assert (directed_vertex_connectivity(lifted)
+                    == vertex_connectivity(g)), g
+
+    def test_battery_strong_iff_connected(self):
+        for g in self.BATTERY:
+            assert is_strongly_connected(g.to_digraph()) == g.is_connected()
+
+    def test_undirected_input_delegates(self):
+        g = wheel_graph(6)
+        assert directed_vertex_connectivity(g) == vertex_connectivity(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_random_graphs_kappa_matches(self, seed):
+        g = gnp_supercritical_graph(8, 2.2, seed)
+        lifted = g.to_digraph()
+        assert directed_vertex_connectivity(lifted) == vertex_connectivity(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_random_local_connectivity_matches(self, seed, s, t):
+        g = gnp_supercritical_graph(8, 2.5, seed)
+        if s == t or s not in g or t not in g:
+            return
+        lifted = g.to_digraph()
+        assert (directed_local_connectivity(lifted, s, t)
+                == local_connectivity(g, s, t))

@@ -491,3 +491,75 @@ class TestTraceCommand:
         with pytest.raises(SystemExit):
             main(["profile", "--graph", "wheel:9", "--f", "1",
                   "--flood-receipt", "--trace", "x.ndjson"])
+
+
+class TestDirectedGraphSpecs:
+    def test_oneway_spec(self):
+        from repro.graphs import oneway_ring
+
+        assert parse_graph("oneway:9:2") == oneway_ring(9, 2)
+        assert parse_graph("oneway:5") == oneway_ring(5, 1)
+        assert parse_graph("oneway:9:2").directed
+
+    def test_random_digraph_spec(self):
+        from repro.graphs import random_digraph
+
+        assert parse_graph("random_digraph:8:0.3:7") == random_digraph(8, 0.3, 7)
+        assert parse_graph("random_digraph:8:0.3") == random_digraph(8, 0.3, 0)
+
+    @pytest.mark.parametrize("spec,fragment", [
+        ("oneway", "takes N[:K]"),
+        ("oneway:5:2:9", "takes N[:K]"),
+        ("oneway:bad", "N must be an integer"),
+        ("oneway:5:x", "K must be an integer"),
+        ("oneway:2", "at least three nodes"),
+        ("random_digraph", "takes N:P[:SEED]"),
+        ("random_digraph:8", "takes N:P[:SEED]"),
+        ("random_digraph:8:0.5:1:2", "takes N:P[:SEED]"),
+        ("random_digraph:x:0.5", "N must be an integer"),
+        ("random_digraph:8:high", "P must be a number"),
+        ("random_digraph:8:0.5:soon", "SEED must be an integer"),
+        ("random_digraph:8:1.5", "probability must lie in [0, 1]"),
+    ])
+    def test_malformed_directed_specs_fail_loudly(self, spec, fragment):
+        import re
+
+        with pytest.raises(SystemExit, match=re.escape(fragment)):
+            parse_graph(spec)
+
+
+class TestDirectedCommands:
+    def test_check_digraph(self, capsys):
+        assert main(["check", "--graph", "oneway:9:2", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph: n=9, arcs=18" in out
+        assert "strong kappa=2" in out
+        assert "directed-local-broadcast (f=1): FEASIBLE" in out
+        assert "max f (directed local broadcast): 1" in out
+        assert "max f (symmetric closure):        2" in out
+
+    def test_check_infeasible_digraph(self, capsys):
+        assert main(["check", "--graph", "oneway:5", "--f", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "infeasible" in out
+        assert "max f (directed local broadcast): 0" in out
+
+    def test_run_on_digraph(self, capsys):
+        code = main([
+            "run", "--graph", "oneway:9:2", "--f", "1", "--algorithm", "2",
+            "--faulty", "0", "--adversary", "tamper-forward",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agreement     : True" in out
+
+    def test_sweep_on_digraph_records_directed(self, tmp_path, capsys):
+        out_file = tmp_path / "directed.json"
+        code = main([
+            "sweep", "--graph", "oneway:9:2", "--f", "1", "--algorithm", "2",
+            "--fault-limit", "2", "--output", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["all_consensus"]
+        assert all(rec["directed"] for rec in payload["records"])
